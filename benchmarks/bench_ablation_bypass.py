@@ -1,0 +1,60 @@
+"""Ablation — bandwidth balancing target (Section III-E).
+
+The paper motivates the 0.8 access-rate target from the 4:1 NM:FM
+bandwidth ratio: "if the bandwidth available from the two memory levels
+are N+1, it is beneficial to service 1/(N+1) of the accesses from the
+slower memory layer".  This bench sweeps the target on a
+high-access-rate workload (milc exceeds 0.8 in the paper) and prints the
+resulting speedup curve; disabling bypass entirely is the 1.0 endpoint.
+
+Shape check: some balanced target beats the never-bypass configuration,
+i.e. deliberately sending traffic to "slow" FM pays off once NM is the
+bottleneck.
+"""
+
+import dataclasses
+
+from conftest import MISSES_PER_CORE, run_once
+
+from repro.core.silcfm import SilcFmScheme
+from repro.cpu.system import System
+from repro.experiments.runner import run_one
+from repro.stats.report import bar_chart
+from repro.workloads.spec import per_core_spec
+
+WORKLOAD = "milc"
+TARGETS = [0.6, 0.7, 0.8, 0.9]
+
+
+def test_bypass_target_sweep(benchmark, config):
+    def compute():
+        misses = MISSES_PER_CORE // 2
+        baseline = run_one("nonm", WORKLOAD, config, misses_per_core=misses)
+        speedups = {}
+        for target in TARGETS + [None]:
+            if target is None:
+                overrides = dict(enable_bypass=False)
+                label = "no bypass"
+            else:
+                overrides = dict(bypass_target_access_rate=target)
+                label = f"target {target}"
+
+            def factory(space, cfg, overrides=overrides):
+                return SilcFmScheme(
+                    space, dataclasses.replace(cfg.silcfm, **overrides))
+
+            system = System(config, factory, per_core_spec(WORKLOAD, config),
+                            misses_per_core=misses,
+                            alloc_policy="interleaved")
+            result = system.run()
+            speedups[label] = result.speedup_over(baseline)
+        return speedups
+
+    speedups = run_once(benchmark, compute)
+    print()
+    print(bar_chart(speedups,
+                    title=f"Bypass target sweep on {WORKLOAD}", unit="x"))
+
+    best_balanced = max(v for k, v in speedups.items() if k != "no bypass")
+    assert best_balanced >= speedups["no bypass"] * 0.97, \
+        "a balanced target should not lose to never bypassing"

@@ -1,0 +1,65 @@
+"""Ablation — way/location predictor (Section III-F).
+
+Without the predictor every access serialises its remap-entry fetches;
+with it, a correct way+location speculation collapses the critical path
+to a single data access.  The paper sizes it at 4 K entries and reports
+it necessary to make the associative structure latency-competitive.
+
+Shape checks: the predictor improves performance, and its accuracy is
+high (the paper's premise that PC xor address correlates with placement).
+"""
+
+import dataclasses
+
+from conftest import MISSES_PER_CORE, run_once
+
+from repro.core.silcfm import SilcFmScheme
+from repro.cpu.system import System
+from repro.experiments.runner import run_one
+from repro.stats.report import format_table
+from repro.workloads.spec import per_core_spec
+
+WORKLOAD = "mcf"
+
+
+def test_predictor_ablation(benchmark, config):
+    def compute():
+        misses = MISSES_PER_CORE // 2
+        baseline = run_one("nonm", WORKLOAD, config, misses_per_core=misses)
+        rows = {}
+        for enabled in (True, False):
+            def factory(space, cfg, enabled=enabled):
+                return SilcFmScheme(
+                    space,
+                    dataclasses.replace(cfg.silcfm, enable_predictor=enabled))
+
+            holder = {}
+
+            def wrapped(space, cfg, factory=factory):
+                holder["scheme"] = factory(space, cfg)
+                return holder["scheme"]
+
+            system = System(config, wrapped, per_core_spec(WORKLOAD, config),
+                            misses_per_core=misses,
+                            alloc_policy="interleaved")
+            result = system.run()
+            scheme = holder["scheme"]
+            rows["with predictor" if enabled else "no predictor"] = dict(
+                speedup=result.speedup_over(baseline),
+                mean_latency=result.controller_stats.mean_miss_latency,
+                way_accuracy=scheme.predictor.way_accuracy,
+                loc_accuracy=scheme.predictor.location_accuracy,
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    print(format_table(
+        ["config", "speedup", "mean miss latency", "way acc", "loc acc"],
+        [[k, v["speedup"], v["mean_latency"], v["way_accuracy"],
+          v["loc_accuracy"]] for k, v in rows.items()],
+        title=f"Predictor ablation on {WORKLOAD}"))
+
+    assert rows["with predictor"]["speedup"] >= \
+        rows["no predictor"]["speedup"], "the predictor should help"
+    assert rows["with predictor"]["way_accuracy"] > 0.7

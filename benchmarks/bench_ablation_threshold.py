@@ -1,0 +1,52 @@
+"""Ablation — locking hot threshold (Section III-B/C).
+
+The paper: "We have experimentally found that the threshold of 50 works
+the best to determine the block hotness."  This bench sweeps the
+threshold on the locking showcase workload (xalancbmk) and prints the
+curve: too low locks lukewarm blocks (displacing native pages for
+nothing), too high never locks.
+
+Shape check: a mid-range threshold is at least as good as the extremes.
+"""
+
+import dataclasses
+
+from conftest import MISSES_PER_CORE, run_once
+
+from repro.core.silcfm import SilcFmScheme
+from repro.cpu.system import System
+from repro.experiments.runner import run_one
+from repro.stats.report import bar_chart
+from repro.workloads.spec import per_core_spec
+
+WORKLOAD = "xalancbmk"
+THRESHOLDS = [5, 20, 50, 1000]
+
+
+def test_threshold_sweep(benchmark, config):
+    def compute():
+        misses = MISSES_PER_CORE // 2
+        baseline = run_one("nonm", WORKLOAD, config, misses_per_core=misses)
+        speedups = {}
+        for threshold in THRESHOLDS:
+            def factory(space, cfg, threshold=threshold):
+                return SilcFmScheme(
+                    space,
+                    dataclasses.replace(cfg.silcfm, hot_threshold=threshold))
+
+            system = System(config, factory, per_core_spec(WORKLOAD, config),
+                            misses_per_core=misses,
+                            alloc_policy="interleaved")
+            speedups[f"threshold {threshold}"] = \
+                system.run().speedup_over(baseline)
+        return speedups
+
+    speedups = run_once(benchmark, compute)
+    print()
+    print(bar_chart(speedups, title=f"Hot threshold sweep on {WORKLOAD}",
+                    unit="x"))
+
+    values = list(speedups.values())
+    mid = max(values[1], values[2])
+    assert mid >= min(values[0], values[-1]) * 0.95, \
+        "a mid-range threshold should not lose to the extremes"

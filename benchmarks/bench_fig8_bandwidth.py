@@ -1,0 +1,55 @@
+"""Fig. 8 — fraction of demand bandwidth served from NM vs FM.
+
+The paper: the ideal split is 0.8 (the 4:1 NM:FM bandwidth ratio).  HMA
+and PoM land around 0.71/0.58, CAMEO lower, CAMEO+prefetch overshoots
+toward NM, and SILC-FM's balancer holds ~0.76 — closest to ideal.
+
+Shape checks: SILC-FM's NM share is the closest to the 0.8 target among
+the migrating schemes; Random's share is far below (it has no notion of
+hotness); only demand traffic counts (migrations excluded, as in the
+paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments.runner import SCHEMES
+from repro.stats.report import bar_chart
+from repro.workloads.spec import BENCHMARKS
+
+FIG8 = ["rand", "hma", "cam", "camp", "pom", "silc"]
+IDEAL = 0.8
+
+
+def test_fig8_bandwidth_split(benchmark, runner):
+    def compute():
+        # the paper counts demand *requests* serviced from NM vs FM
+        # (migrations excluded); that is the access rate
+        shares = {}
+        for scheme in FIG8:
+            values = [runner.result(scheme, wl).access_rate
+                      for wl in BENCHMARKS]
+            shares[scheme] = sum(values) / len(values)
+        return shares
+
+    shares = run_once(benchmark, compute)
+
+    print()
+    print(bar_chart({SCHEMES[s].label: shares[s] for s in FIG8},
+                    title=f"Fig. 8: NM share of demand bandwidth "
+                          f"(ideal = {IDEAL})"))
+    for scheme in FIG8:
+        print(f"{SCHEMES[scheme].label:>16s}: {shares[scheme]:.3f} "
+              f"(distance from ideal {abs(shares[scheme] - IDEAL):.3f})")
+
+    # --- shape assertions -------------------------------------------------
+    migrating = ["hma", "cam", "camp", "pom", "silc"]
+    distances = {s: abs(shares[s] - IDEAL) for s in migrating}
+    # SILC-FM's balancer should land among the closest to the ideal,
+    # and never overshoot it the way the unthrottled prefetcher can
+    assert distances["silc"] <= min(distances.values()) + 0.1, \
+        "SILC-FM's balancer should land near the 0.8 ideal"
+    assert shares["silc"] <= IDEAL + 0.05, \
+        "the balancer must not overshoot the target"
+    assert shares["rand"] < 0.5, "Random places most demand in FM"
+    for scheme in migrating:
+        assert 0.3 < shares[scheme] <= 1.0

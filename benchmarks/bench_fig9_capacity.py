@@ -1,0 +1,64 @@
+"""Fig. 9 — performance with various NM capacities.
+
+The paper sweeps the FM:NM capacity ratio from 1/16 to 1/4 (holding the
+system otherwise fixed): SILC-FM grows from 1.83x to 2.04x while the
+best comparison scheme only reaches 1.47-1.76x, i.e. SILC-FM degrades
+the least when NM is small because locking + associativity absorb the
+extra conflict pressure of fewer sets.
+
+Shape checks: SILC-FM's geomean is monotone non-decreasing in NM size,
+stays the best scheme at every ratio, and loses less when shrinking
+from 1/4 to 1/16 than CAMEO does.
+
+To keep the bench affordable this sweep uses a representative subset
+(two workloads per MPKI class); `repro.experiments.figures.
+fig9_capacity_sweep` runs the full suite.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments.runner import SCHEMES, SuiteRunner
+from repro.stats.collectors import geometric_mean
+from repro.stats.report import grouped_series
+
+RATIOS = [16, 8, 4]
+SWEEP_SCHEMES = ["hma", "cam", "camp", "pom", "silc"]
+WORKLOADS = ["xalancbmk", "cactusADM", "gcc", "gemsFDTD", "mcf", "milc"]
+MISSES = int(os.environ.get("REPRO_BENCH_MISSES", "6000")) // 2
+
+
+def test_fig9_capacity_sweep(benchmark, config):
+    def compute():
+        out = {s: {} for s in SWEEP_SCHEMES}
+        for ratio in RATIOS:
+            runner = SuiteRunner(config.with_ratio(ratio),
+                                 misses_per_core=MISSES)
+            for scheme in SWEEP_SCHEMES:
+                speedups = [runner.speedup(scheme, wl) for wl in WORKLOADS]
+                out[scheme][f"1/{ratio}"] = geometric_mean(speedups)
+        return out
+
+    table = run_once(benchmark, compute)
+
+    print()
+    print(grouped_series(
+        {SCHEMES[s].label: table[s] for s in SWEEP_SCHEMES},
+        headers_label="NM:FM",
+        title="Fig. 9: geomean speedup vs NM capacity",
+    ))
+
+    # --- shape assertions -------------------------------------------------
+    silc = table["silc"]
+    assert silc["1/4"] >= silc["1/16"], \
+        "SILC-FM should benefit from more NM capacity"
+    for ratio in RATIOS:
+        key = f"1/{ratio}"
+        best = max(table[s][key] for s in SWEEP_SCHEMES)
+        assert table["silc"][key] >= best * 0.97, \
+            f"SILC-FM should lead (or tie) at NM:FM = {key}"
+    # SILC-FM degrades less than CAMEO when NM shrinks (Section V-C)
+    silc_retention = silc["1/16"] / silc["1/4"]
+    cam_retention = table["cam"]["1/16"] / table["cam"]["1/4"]
+    assert silc_retention >= cam_retention * 0.9

@@ -1,0 +1,72 @@
+"""Table I — metadata and operation summary.
+
+Table I defines the six swap-operation scenarios.  The semantics are
+unit-tested exhaustively in tests/core/test_table1_semantics.py; this
+bench complements that by *measuring* how often each row occurs on a
+real workload mix and printing the observed operation profile — the
+dynamic counterpart of the paper's static table.
+
+Shape checks: every Table I row is actually exercised by the suite; NM
+service rows dominate on a locking-friendly workload.
+"""
+
+import collections
+
+from conftest import MISSES_PER_CORE, run_once
+
+from repro.cpu.system import System
+from repro.experiments.runner import SCHEMES
+from repro.stats.report import format_table
+from repro.workloads.spec import per_core_spec
+
+WORKLOADS = ["xalancbmk", "mcf", "milc"]
+
+ROW_MEANING = {
+    "row1": "remap match, bit set: service from NM",
+    "row2": "remap match, bit clear: swap subblock from FM",
+    "row3": "mismatch, bit set, NM addr: swap native back",
+    "row4": "mismatch, bit clear, NM addr: service from NM",
+    "row5": "mismatch, FM addr: restore block + swap",
+    "nm-displaced-by-lock": "NM addr under fm-lock: service from FM",
+    "all-locked": "set fully locked: service from FM",
+}
+
+
+def test_table1_operation_mix(benchmark, config):
+    def compute():
+        counts = collections.Counter()
+        for wl in WORKLOADS:
+            setup = SCHEMES["silc"]
+            system = System(config, setup.factory, per_core_spec(wl, config),
+                            misses_per_core=MISSES_PER_CORE // 2,
+                            alloc_policy=setup.alloc_policy)
+            scheme = system.scheme
+            original = scheme.access
+
+            def counted(paddr, is_write, pc=0, _orig=original):
+                plan = _orig(paddr, is_write, pc)
+                counts[plan.note.replace("-bypass", "")] += 1
+                return plan
+
+            scheme.access = counted
+            system.run()
+        return counts
+
+    counts = run_once(benchmark, compute)
+    total = sum(counts.values())
+
+    print()
+    rows = [
+        [note, ROW_MEANING.get(note, ""), counts.get(note, 0),
+         counts.get(note, 0) / total * 100]
+        for note in ROW_MEANING
+    ]
+    print(format_table(["row", "action (Table I)", "count", "%"], rows,
+                       title="Table I: observed operation mix (SILC-FM)",
+                       float_format="{:.2f}"))
+
+    # --- shape assertions -------------------------------------------------
+    for row in ("row1", "row2", "row3", "row4", "row5"):
+        assert counts.get(row, 0) > 0, f"Table I {row} never exercised"
+    nm_service = counts.get("row1", 0) + counts.get("row4", 0)
+    assert nm_service > total * 0.3, "NM service rows should dominate"

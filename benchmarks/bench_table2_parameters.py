@@ -1,0 +1,60 @@
+"""Table II — experimental parameters.
+
+Prints the configuration the benches actually simulate next to the
+paper's values, and asserts every structural ratio the evaluation
+depends on (4:1 bandwidth and capacity, 4 CPU cycles per memory cycle,
+block geometry).  Capacities are scaled; ratios are exact.
+"""
+
+from conftest import run_once
+
+from repro.sim.config import paper_config
+from repro.stats.report import format_table
+
+
+def test_table2_parameters(benchmark, config):
+    paper = paper_config()
+
+    def compute():
+        return [
+            ["cores", 16, config.cores],
+            ["issue width", 4, config.core.issue_width],
+            ["ROB entries", 128, config.core.rob_entries],
+            ["core frequency (GHz)", 3.2, config.core.frequency_ghz],
+            ["L1I / L1D / L2", "64K/16K/8M", "64K/16K/8M"],
+            ["NM channels x bus", "8 x 128b", f"{config.nm_timings.channels} "
+             f"x {config.nm_timings.bus_bits}b"],
+            ["FM channels x bus", "4 x 64b", f"{config.fm_timings.channels} "
+             f"x {config.fm_timings.bus_bits}b"],
+            ["bus frequency (MHz, DDR)", 800, config.nm_timings.bus_mhz],
+            ["NM peak BW (GB/s)", 204.8,
+             config.nm_timings.peak_bandwidth_gbs()],
+            ["FM peak BW (GB/s)", 51.2,
+             config.fm_timings.peak_bandwidth_gbs()],
+            ["NM capacity", f"{paper.nm_bytes >> 30} GiB",
+             f"{config.nm_bytes >> 20} MiB (scaled)"],
+            ["FM capacity", f"{paper.fm_bytes >> 30} GiB",
+             f"{config.fm_bytes >> 20} MiB (scaled)"],
+            ["FM:NM capacity", "4:1", f"{config.fm_to_nm_ratio}:1"],
+            ["page / large block", "2 KB", "2 KB"],
+            ["subblock", "64 B", "64 B"],
+            ["SILC-FM associativity", 4, config.silcfm.associativity],
+            ["hot threshold", 50, config.silcfm.hot_threshold],
+            ["predictor entries", 4096, config.silcfm.predictor_entries],
+            ["bypass target access rate", 0.8,
+             config.silcfm.bypass_target_access_rate],
+        ]
+
+    rows = run_once(benchmark, compute)
+    print()
+    print(format_table(["parameter", "paper (Table II)", "simulated"], rows,
+                       title="Table II: system parameters",
+                       float_format="{:.4g}"))
+
+    # --- the ratios the evaluation depends on -----------------------------
+    assert config.nm_timings.peak_bandwidth_gbs() == \
+        4 * config.fm_timings.peak_bandwidth_gbs()
+    assert config.fm_to_nm_ratio == 4
+    assert config.nm_timings.cpu_cycles_per_mem == 4.0
+    assert config.silcfm.associativity == 4
+    assert config.silcfm.bypass_target_access_rate == 0.8

@@ -1,0 +1,45 @@
+"""Shared fixtures for the reproduction benches.
+
+All figure benches share one :class:`SuiteRunner` per configuration, so
+the (scheme x workload) simulations are run once and reused — Fig. 6,
+Fig. 7, Fig. 8 and the EDP bench all draw from the same grid, exactly
+like the paper's single simulation campaign.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_MISSES`` — LLC misses per core per run (default 6000;
+  raise for tighter numbers, lower for a smoke run).
+* ``REPRO_SCALE`` — memory-capacity scale factor (see repro.sim.config).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import SuiteRunner
+from repro.sim.config import default_config
+
+MISSES_PER_CORE = int(os.environ.get("REPRO_BENCH_MISSES", "6000"))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def runner(config):
+    """The shared (scheme x workload) result grid."""
+    return SuiteRunner(config, misses_per_core=MISSES_PER_CORE)
+
+
+@pytest.fixture(scope="session")
+def misses_per_core():
+    return MISSES_PER_CORE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark (simulations are
+    far too heavy for statistical repetition)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bring your own workload: drive the simulator with a custom
+memory-behaviour profile instead of the Table III presets.
+
+Run:  python examples/custom_workload.py
+
+Models an in-memory key-value store: a large footprint, a small
+extremely hot index, poor spatial locality on the value heap, and a
+periodic compaction phase that shifts the hot set — then asks which
+flat-memory organisation handles it best.  This is the downstream-user
+workflow: define a WorkloadSpec, reuse the scheme registry.
+"""
+
+import dataclasses
+
+from repro import SCHEMES, System, WorkloadSpec, default_config
+from repro.stats.collectors import geometric_mean
+from repro.stats.report import format_table
+
+def kv_store_spec(config) -> WorkloadSpec:
+    """The workload profile, with its footprint scaled to the simulated
+    capacity (so the example also runs under REPRO_SCALE overrides)."""
+    budget = config.total_bytes // 2048 // config.cores
+    return WorkloadSpec(
+        name="kvstore",
+        mpki=30.0,                          # memory-bound request processing
+        footprint_pages=min(400, max(16, budget * 2 // 3)),
+        hot_fraction=0.06,                  # the index pages
+        hot_weight=0.75,                    # most lookups touch the index
+        spatial_run=2.0,                    # pointer chasing through the heap
+        write_fraction=0.30,                # inserts and updates
+        phase_misses=6_000,                 # compaction reshuffles hot pages
+        phase_shift=0.5,
+        page_density=0.35,                  # values are small vs the 2 KB page
+    )
+
+
+def main() -> None:
+    config = default_config()
+    KV_STORE = kv_store_spec(config)
+    misses = 4000
+    results = {}
+    for key in ("nonm", "cam", "pom", "silc"):
+        setup = SCHEMES[key]
+        system = System(config, setup.factory, KV_STORE,
+                        misses_per_core=misses,
+                        alloc_policy=setup.alloc_policy)
+        results[key] = system.run()
+        print(f"ran {setup.label}", flush=True)
+
+    baseline = results["nonm"]
+    rows = []
+    for key in ("cam", "pom", "silc"):
+        r = results[key]
+        rows.append([
+            SCHEMES[key].label,
+            r.speedup_over(baseline),
+            r.access_rate,
+            r.scheme_stats.subblock_swaps,
+            r.scheme_stats.block_migrations,
+            r.edp / baseline.edp,
+        ])
+    print()
+    print(format_table(
+        ["scheme", "speedup", "access rate", "64B swaps", "2KB migrations",
+         "EDP vs baseline"],
+        rows, title="Key-value store workload (custom WorkloadSpec)",
+    ))
+    print("\nSparse pages + hot-set churn is exactly the regime where "
+          "subblock\ninterleaving beats both 64 B-only and whole-page "
+          "migration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scheme shoot-out: the paper's Fig. 7 in miniature.
+
+Run:  python examples/scheme_shootout.py [misses_per_core]
+
+Runs a representative workload from each MPKI class (Table III) under
+all six comparison schemes plus SILC-FM, prints per-workload speedups
+over the no-NM baseline, and the geometric mean — the number the paper's
+"36% over the best state-of-the-art" claim is about.
+"""
+
+import sys
+
+from repro import SuiteRunner, default_config
+from repro.experiments.figures import FIG7_SCHEMES
+from repro.experiments.runner import SCHEMES
+from repro.stats.collectors import geometric_mean
+from repro.stats.report import bar_chart, grouped_series
+
+#: one workload from each Table III class + the two feature showcases
+WORKLOADS = ["xalancbmk", "gcc", "mcf", "milc"]
+
+
+def main() -> None:
+    misses = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    runner = SuiteRunner(default_config(), misses_per_core=misses)
+
+    series = {}
+    for scheme in FIG7_SCHEMES:
+        label = SCHEMES[scheme].label
+        series[scheme] = {
+            wl: runner.speedup(scheme, wl) for wl in WORKLOADS
+        }
+        print(f"ran {label}", flush=True)
+
+    print()
+    print(grouped_series(series, headers_label="workload",
+                         title="Speedup over no-NM baseline (Fig. 7 subset)"))
+    print()
+    geomeans = {
+        SCHEMES[s].label: geometric_mean(series[s].values())
+        for s in FIG7_SCHEMES
+    }
+    print(bar_chart(geomeans, title="Geometric-mean speedup", unit="x"))
+
+    best_other = max(v for k, v in geomeans.items() if k != "SILC-FM")
+    silc = geomeans["SILC-FM"]
+    print(f"\nSILC-FM vs best other scheme: "
+          f"{(silc / best_other - 1) * 100:+.1f}% "
+          f"(paper reports +36% on the full suite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from a fresh simulation grid.
+
+Usage: python scripts/generate_experiments_report.py [misses_per_core]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.report_writer import write_experiments_report
+
+
+def main() -> None:
+    misses = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    target = Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+    write_experiments_report(target, misses_per_core=misses,
+                             fig9_misses=max(1500, misses // 2))
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

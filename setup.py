@@ -1,0 +1,6 @@
+"""Setup shim: lets offline environments without the `wheel` package do
+`python setup.py develop`; configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``      simulate one (scheme, benchmark) pair and print its report
+``compare``  several schemes on one benchmark, speedups over the baseline
+``schemes``  list the registered schemes
+``suite``    list the Table III benchmarks and their parameters
+``trace``    generate a workload trace file for external tools
+``report``   regenerate EXPERIMENTS.md (the full evaluation grid)
+
+Examples::
+
+    python -m repro run silc mcf --misses 5000
+    python -m repro compare mcf --schemes cam pom silc
+    python -m repro trace lbm /tmp/lbm.trc --misses 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import SCHEMES, run_one
+from repro.sim.config import default_config
+from repro.stats.report import bar_chart, format_table
+from repro.workloads.io import save_trace
+from repro.workloads.model import WorkloadModel
+from repro.workloads.spec import BENCHMARKS, per_core_spec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SILC-FM (HPCA 2017) flat-memory simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one scheme on one benchmark")
+    run_p.add_argument("scheme", choices=sorted(SCHEMES))
+    run_p.add_argument("benchmark", choices=BENCHMARKS)
+    run_p.add_argument("--misses", type=int, default=5000,
+                       help="LLC misses per core (default 5000)")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="memory capacity scale factor")
+
+    cmp_p = sub.add_parser("compare", help="compare schemes on a benchmark")
+    cmp_p.add_argument("benchmark", choices=BENCHMARKS)
+    cmp_p.add_argument("--schemes", nargs="+", default=["cam", "pom", "silc"],
+                       choices=sorted(SCHEMES))
+    cmp_p.add_argument("--misses", type=int, default=5000)
+    cmp_p.add_argument("--seed", type=int, default=None)
+    cmp_p.add_argument("--scale", type=float, default=None)
+
+    sub.add_parser("schemes", help="list registered schemes")
+    sub.add_parser("suite", help="list the Table III benchmark presets")
+
+    trace_p = sub.add_parser("trace", help="write a trace file")
+    trace_p.add_argument("benchmark", choices=BENCHMARKS)
+    trace_p.add_argument("path")
+    trace_p.add_argument("--misses", type=int, default=20_000)
+    trace_p.add_argument("--seed", type=int, default=1)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (runs the full grid)")
+    report_p.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    report_p.add_argument("--misses", type=int, default=5000)
+    return parser
+
+
+def _config(scale: Optional[float]):
+    return default_config() if scale is None else default_config(scale=scale)
+
+
+def _cmd_run(args) -> int:
+    config = _config(args.scale)
+    result = run_one(args.scheme, args.benchmark, config,
+                     misses_per_core=args.misses, seed=args.seed)
+    rows = [
+        ["execution cycles", f"{result.elapsed_cycles:,.0f}"],
+        ["NM access rate", f"{result.access_rate:.3f}"],
+        ["NM demand-bw share", f"{result.nm_demand_fraction:.3f}"],
+        ["mean miss latency", f"{result.controller_stats.mean_miss_latency:.1f}"],
+        ["subblock swaps", result.scheme_stats.subblock_swaps],
+        ["2KB migrations", result.scheme_stats.block_migrations],
+        ["energy (J)", f"{result.energy.total_joules:.3e}"],
+        ["EDP (J*s)", f"{result.edp:.3e}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{SCHEMES[args.scheme].label} on {args.benchmark}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = _config(args.scale)
+    baseline = run_one("nonm", args.benchmark, config,
+                       misses_per_core=args.misses, seed=args.seed)
+    speedups = {}
+    for key in args.schemes:
+        result = run_one(key, args.benchmark, config,
+                         misses_per_core=args.misses, seed=args.seed)
+        speedups[SCHEMES[key].label] = result.speedup_over(baseline)
+        print(f"ran {SCHEMES[key].label}", file=sys.stderr)
+    print(bar_chart(speedups, title=f"Speedup over no-NM baseline "
+                                    f"({args.benchmark})", unit="x"))
+    return 0
+
+
+def _cmd_schemes(_args) -> int:
+    rows = [[setup.key, setup.label, setup.alloc_policy]
+            for setup in SCHEMES.values()]
+    print(format_table(["key", "scheme", "allocation"], rows))
+    return 0
+
+
+def _cmd_suite(_args) -> int:
+    config = default_config()
+    rows = []
+    for name in BENCHMARKS:
+        spec = per_core_spec(name, config)
+        rows.append([name, spec.category, spec.mpki, spec.footprint_pages,
+                     spec.spatial_run, spec.page_density,
+                     spec.phase_misses or "-"])
+    print(format_table(
+        ["benchmark", "class", "MPKI", "pages/core", "spatial", "density",
+         "phase"],
+        rows, title="Table III workload suite (scaled)",
+        float_format="{:.2g}"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report_writer import write_experiments_report
+
+    write_experiments_report(args.path, misses_per_core=args.misses,
+                             fig9_misses=max(1500, args.misses // 2))
+    print(f"wrote {args.path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    config = default_config()
+    spec = per_core_spec(args.benchmark, config)
+    model = WorkloadModel(spec, seed=args.seed)
+    count = save_trace(args.path, model.miss_stream(args.misses))
+    print(f"wrote {count} records to {args.path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "schemes": _cmd_schemes,
+        "suite": _cmd_suite,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Set-associative cache substrate (L1s + shared LLC)."""
+
+from repro.cache.cache import AccessOutcome, Cache, CacheStats
+from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome
+
+__all__ = ["AccessOutcome", "Cache", "CacheHierarchy", "CacheStats", "HierarchyOutcome"]

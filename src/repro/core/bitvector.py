@@ -1,0 +1,60 @@
+"""Bit-vector history table (Section III-A).
+
+When an interleaved block is restored (evicted from NM), its residency
+bit vector — the footprint of subblocks the program actually used — is
+saved in a small SRAM table indexed by ``PC xor address`` of the first
+subblock swapped in.  When a block is next installed, the stored vector
+drives a batch fetch of the previously-useful subblocks, giving SILC-FM
+CAMEO-beating spatial hits without PoM's fetch-everything bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.metadata import FULL_BITVEC
+
+
+def history_index(pc: int, first_subblock_addr: int, entries: int) -> int:
+    """The paper's index function: PC xor'ed with the address of the
+    first swapped-in subblock, folded into the table size."""
+    if entries <= 0 or entries & (entries - 1):
+        raise ValueError("table size must be a power of two")
+    return (pc ^ (first_subblock_addr >> 6)) & (entries - 1)
+
+
+class BitVectorHistoryTable:
+    """Direct-mapped SRAM table of saved residency bit vectors."""
+
+    def __init__(self, entries: int = 65536) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self.entries = entries
+        self._table: Dict[int, int] = {}
+        self.saves = 0
+        self.hits = 0
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    def save(self, pc: int, first_subblock_addr: int, bitvec: int) -> None:
+        """Record a block's usage footprint at eviction time."""
+        if not 0 <= bitvec <= FULL_BITVEC:
+            raise ValueError(f"bit vector {bitvec:#x} out of range")
+        self._table[history_index(pc, first_subblock_addr, self.entries)] = bitvec
+        self.saves += 1
+
+    def lookup(self, pc: int, first_subblock_addr: int) -> int:
+        """Predicted footprint for a block being installed; 0 = no history
+        (caller falls back to fetching only the demanded subblock)."""
+        self.lookups += 1
+        vec = self._table.get(history_index(pc, first_subblock_addr, self.entries), 0)
+        if vec:
+            self.hits += 1
+        return vec
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,56 @@
+"""Bypassing / bandwidth balancing (Section III-E).
+
+NM is part of the address space, not a cache: leaving FM idle throws
+away a quarter of the system's bandwidth.  With an NM:FM bandwidth ratio
+of N:1 the ideal split services N/(N+1) of the traffic from NM — 0.8 for
+the paper's 4:1 system.  The monitor measures the access rate over a
+sliding window of LLC misses; while it exceeds the target, new swaps are
+suppressed and would-be swap requests are serviced straight from FM
+(resident blocks keep operating from NM), steering the rate back toward
+the target.
+"""
+
+from __future__ import annotations
+
+
+class BandwidthBalancer:
+    """Windowed access-rate monitor with a hysteresis-free target."""
+
+    def __init__(self, target_access_rate: float = 0.8, window: int = 4096) -> None:
+        if not 0.0 < target_access_rate < 1.0:
+            raise ValueError("target access rate must be in (0, 1)")
+        if window < 16:
+            raise ValueError("window too small to be meaningful")
+        self.target = target_access_rate
+        self.window = window
+        self._window_total = 0
+        self._window_nm = 0
+        self._bypassing = False
+        self.bypassed_accesses = 0
+        self.windows_observed = 0
+
+    # ------------------------------------------------------------------
+    def record(self, serviced_from_nm: bool) -> None:
+        """Account one LLC miss; re-evaluates at window boundaries."""
+        self._window_total += 1
+        self._window_nm += serviced_from_nm
+        if self._window_total >= self.window:
+            rate = self._window_nm / self._window_total
+            self._bypassing = rate > self.target
+            self._window_total = 0
+            self._window_nm = 0
+            self.windows_observed += 1
+
+    @property
+    def bypassing(self) -> bool:
+        """True while new swaps should be suppressed."""
+        return self._bypassing
+
+    def note_bypassed(self) -> None:
+        self.bypassed_accesses += 1
+
+    @property
+    def current_window_rate(self) -> float:
+        if self._window_total == 0:
+            return 0.0
+        return self._window_nm / self._window_total

@@ -1,0 +1,8 @@
+"""Trace-driven CPU substrate and the flat-memory controller."""
+
+from repro.cpu.controller import ControllerStats, FlatMemoryController
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.system import RunResult, System
+
+__all__ = ["ControllerStats", "Core", "CoreStats", "FlatMemoryController",
+           "RunResult", "System"]

@@ -1,0 +1,162 @@
+"""The flat-memory controller: executes a scheme's access plans on the
+two memory devices.
+
+Responsibilities:
+
+* run each plan's critical-path stages in order (stage *i+1* issues when
+  stage *i*'s last operation completes) at demand priority, then signal
+  the waiting core;
+* fire background traffic (swaps, migrations, prefetches, writebacks)
+  without blocking anyone — it still competes for channel bandwidth;
+* drive epoch-based schemes (HMA): run the scheme's epoch at its period,
+  issue the bulk-migration traffic and stall *all* demand requests for
+  the OS-overhead window (context switch + PTE/TLB work);
+* account demand bytes per level for the Fig. 8 bandwidth-split result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.dram.device import MemoryDevice
+from repro.dram.request import Priority
+from repro.schemes.base import AccessPlan, Level, MemoryScheme, Op
+from repro.sim.engine import Engine
+
+
+@dataclass
+class ControllerStats:
+    """Demand/background accounting.  ``reset()`` supports warmup
+    discarding (the paper measures steady-state Simpoint regions)."""
+
+    demand_nm_bytes: int = 0
+    demand_fm_bytes: int = 0
+    background_nm_bytes: int = 0
+    background_fm_bytes: int = 0
+    writebacks: int = 0
+    epoch_stall_cycles: float = 0.0
+    total_miss_latency: float = 0.0
+    misses_completed: int = 0
+
+    @property
+    def nm_demand_fraction(self) -> float:
+        """Fraction of demand bandwidth served by NM (Fig. 8's metric)."""
+        total = self.demand_nm_bytes + self.demand_fm_bytes
+        return self.demand_nm_bytes / total if total else 0.0
+
+    @property
+    def mean_miss_latency(self) -> float:
+        if not self.misses_completed:
+            return 0.0
+        return self.total_miss_latency / self.misses_completed
+
+    def reset(self) -> None:
+        """Zero every counter (keeps the object identity stable)."""
+        self.demand_nm_bytes = 0
+        self.demand_fm_bytes = 0
+        self.background_nm_bytes = 0
+        self.background_fm_bytes = 0
+        self.writebacks = 0
+        self.epoch_stall_cycles = 0.0
+        self.total_miss_latency = 0.0
+        self.misses_completed = 0
+
+
+class FlatMemoryController:
+    """Glue between the LLC miss stream, a scheme, and the devices."""
+
+    def __init__(self, engine: Engine, scheme: MemoryScheme,
+                 nm_device: MemoryDevice, fm_device: MemoryDevice) -> None:
+        self._engine = engine
+        self.scheme = scheme
+        self._nm = nm_device
+        self._fm = fm_device
+        self.stats = ControllerStats()
+        self._stall_until = 0.0
+        period = scheme.epoch_period_cycles()
+        if period is not None:
+            engine.schedule(period, self._run_epoch, period)
+
+    # ------------------------------------------------------------------
+    def handle_miss(self, paddr: int, is_write: bool, pc: int,
+                    on_done: Callable[[float], None]) -> None:
+        """Service one LLC miss; ``on_done(time)`` fires at completion."""
+        now = self._engine.now
+        if now < self._stall_until:
+            # OS epoch in progress: demand requests wait it out.
+            self._engine.schedule_at(
+                self._stall_until, self.handle_miss, paddr, is_write, pc, on_done
+            )
+            return
+        plan = self.scheme.access(paddr, is_write, pc)
+        self._account(plan)
+        for op in plan.background:
+            self._issue(op, Priority.BACKGROUND, None)
+        start = now
+
+        def finished(when: float) -> None:
+            self.stats.misses_completed += 1
+            self.stats.total_miss_latency += when - start
+            on_done(when)
+
+        self._run_stage(plan.stages, 0, finished)
+
+    def handle_writeback(self, paddr: int) -> None:
+        """LLC dirty eviction: background write to the data's location."""
+        plan = self.scheme.writeback(paddr)
+        self.stats.writebacks += 1
+        self._account(plan)
+        for op in plan.background:
+            self._issue(op, Priority.BACKGROUND, None)
+
+    # ------------------------------------------------------------------
+    def _run_stage(self, stages: List[List[Op]], index: int,
+                   on_done: Callable[[float], None]) -> None:
+        if index >= len(stages):
+            on_done(self._engine.now)
+            return
+        ops = stages[index]
+        if not ops:
+            self._run_stage(stages, index + 1, on_done)
+            return
+        remaining = len(ops)
+
+        def op_done(when: float) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self._run_stage(stages, index + 1, on_done)
+
+        for op in ops:
+            self._issue(op, Priority.DEMAND, op_done)
+
+    def _issue(self, op: Op, priority: Priority,
+               on_complete) -> None:
+        device = self._nm if op.level is Level.NM else self._fm
+        device.access(op.addr, op.size, op.is_write, priority, on_complete)
+
+    def _account(self, plan: AccessPlan) -> None:
+        for op in plan.critical_ops():
+            if op.level is Level.NM:
+                self.stats.demand_nm_bytes += op.size
+            else:
+                self.stats.demand_fm_bytes += op.size
+        for op in plan.background:
+            if op.level is Level.NM:
+                self.stats.background_nm_bytes += op.size
+            else:
+                self.stats.background_fm_bytes += op.size
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, period: float) -> None:
+        ops, stall = self.scheme.epoch()
+        for op in ops:
+            self._issue(op, Priority.BACKGROUND, None)
+            if op.level is Level.NM:
+                self.stats.background_nm_bytes += op.size
+            else:
+                self.stats.background_fm_bytes += op.size
+        self._stall_until = self._engine.now + stall
+        self.stats.epoch_stall_cycles += stall
+        self._engine.schedule(period, self._run_epoch, period)

@@ -1,0 +1,214 @@
+"""End-to-end system: cores -> (optional cache hierarchy) -> scheme ->
+DRAM devices, in the paper's 16-copy rate mode.
+
+``System.run`` builds everything from a :class:`SystemConfig`, a scheme
+factory and a workload spec, steps the discrete-event engine until every
+core finishes its trace, and returns a :class:`RunResult` with the
+figures of merit the paper reports: execution time (speedups are ratios
+of these), access rate, the NM share of demand bandwidth (Fig. 8), and
+the energy/EDP breakdown.
+
+Two trace modes:
+
+* ``"miss"`` (default) — the workload model emits the LLC miss stream
+  directly; fast, used by the benchmark harness.
+* ``"reference"`` — references run through the modelled L1/L2 hierarchy;
+  slower, used by integration tests and the Table III bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome
+from repro.cpu.controller import ControllerStats, FlatMemoryController
+from repro.cpu.core import Core, CoreStats
+from repro.dram.channel import ChannelStats
+from repro.dram.device import MemoryDevice
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.schemes.base import MemoryScheme, SchemeStats
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine, SimulationError
+from repro.workloads.model import WorkloadModel, WorkloadSpec
+from repro.xmem.address import AddressSpace
+from repro.xmem.translation import FrameAllocator, PageTable
+
+#: NM device tail reserved for remap metadata (SILC-FM's entries and
+#: CAMEO's burst-extended tag bytes live here address-wise).
+METADATA_REGION_BYTES_PER_FRAME = 32
+
+SchemeFactory = Callable[[AddressSpace, SystemConfig], MemoryScheme]
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one simulation."""
+
+    scheme_name: str
+    workload_name: str
+    elapsed_cycles: float
+    core_stats: List[CoreStats]
+    scheme_stats: SchemeStats
+    controller_stats: ControllerStats
+    nm_stats: ChannelStats
+    fm_stats: ChannelStats
+    energy: EnergyBreakdown
+    edp: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def access_rate(self) -> float:
+        return self.scheme_stats.access_rate
+
+    @property
+    def nm_demand_fraction(self) -> float:
+        return self.controller_stats.nm_demand_fraction
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.core_stats)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """The paper's figure of merit: baseline time / this time."""
+        if self.elapsed_cycles <= 0:
+            raise ValueError("run did not execute")
+        return baseline.elapsed_cycles / self.elapsed_cycles
+
+
+class System:
+    """One complete simulated machine."""
+
+    def __init__(self, config: SystemConfig, scheme_factory: SchemeFactory,
+                 workload: WorkloadSpec, misses_per_core: int,
+                 alloc_policy: str = "interleaved",
+                 mode: str = "miss",
+                 seed: Optional[int] = None,
+                 workload_per_core: Optional[List[WorkloadSpec]] = None,
+                 warmup_fraction: float = 0.0) -> None:
+        if mode not in ("miss", "reference"):
+            raise ValueError(f"unknown trace mode {mode!r}")
+        if misses_per_core < 1:
+            raise ValueError("misses_per_core must be >= 1")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.config = config
+        self.workload = workload
+        self.mode = mode
+        seed = config.seed if seed is None else seed
+        #: misses (system-wide) discarded before statistics collection
+        #: starts; the paper measures steady-state Simpoint regions, so
+        #: cold-start install traffic should not pollute the figures.
+        self._warmup_misses = int(
+            warmup_fraction * misses_per_core * config.cores)
+        self._warmup_done_at: Optional[float] = None
+
+        self.engine = Engine()
+        self.space = AddressSpace(config.nm_bytes, config.fm_bytes)
+        self.nm_device = MemoryDevice(
+            self.engine, config.nm_timings,
+            config.nm_bytes + self.space.nm_blocks * METADATA_REGION_BYTES_PER_FRAME,
+            name="nm",
+            metadata_base=config.nm_bytes,
+        )
+        self.fm_device = MemoryDevice(
+            self.engine, config.fm_timings, config.fm_bytes, name="fm")
+        self.scheme = scheme_factory(self.space, config)
+        self.controller = FlatMemoryController(
+            self.engine, self.scheme, self.nm_device, self.fm_device)
+        self.hierarchy = (
+            CacheHierarchy(config.caches, config.cores) if mode == "reference" else None
+        )
+
+        allocator = FrameAllocator(self.space, policy=alloc_policy, seed=seed)
+        specs = workload_per_core or [workload] * config.cores
+        if len(specs) != config.cores:
+            raise ValueError("need one workload spec per core")
+        self.cores: List[Core] = []
+        self._finished = 0
+        for core_id, spec in enumerate(specs):
+            table = PageTable(allocator, asid=core_id)
+            model = WorkloadModel(spec, seed=seed * 1000 + core_id)
+            if mode == "miss":
+                trace = model.miss_stream(misses_per_core)
+                classify = None
+            else:
+                trace = model.reference_stream(misses_per_core)
+                classify = self._classify
+            core = Core(
+                self.engine, core_id, trace,
+                issue_width=config.core.issue_width,
+                max_outstanding=config.core.max_outstanding_misses,
+                translate=table.translate,
+                send_miss=self.controller.handle_miss,
+                send_writeback=self.controller.handle_writeback,
+                classify=classify,
+                on_finished=self._core_finished,
+            )
+            self.cores.append(core)
+
+    # ------------------------------------------------------------------
+    def _classify(self, paddr: int, is_write: bool, core_id: int) -> HierarchyOutcome:
+        return self.hierarchy.access(core_id, paddr, is_write)
+
+    def _core_finished(self, core: Core) -> None:
+        self._finished += 1
+
+    def _check_warmup(self) -> None:
+        if (self._warmup_done_at is None
+                and self.scheme.stats.misses >= self._warmup_misses):
+            self._warmup_done_at = self.engine.now
+            self.scheme.stats.reset()
+            self.controller.stats.reset()
+            for device in (self.nm_device, self.fm_device):
+                for channel in device.channels:
+                    channel.stats.reset()
+                if device.meta_channel is not None:
+                    device.meta_channel.stats.reset()
+
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        """Step the engine until every core retires its whole trace."""
+        for core in self.cores:
+            core.start()
+        dispatched = 0
+        warming = self._warmup_misses > 0
+        while self._finished < len(self.cores):
+            if not self.engine.step():
+                raise SimulationError(
+                    f"event queue drained with {len(self.cores) - self._finished}"
+                    " cores unfinished (lost completion callback?)"
+                )
+            if warming:
+                self._check_warmup()
+                warming = self._warmup_done_at is None
+            dispatched += 1
+            if max_events is not None and dispatched > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        finish = max(core.stats.finish_time for core in self.cores)
+        elapsed = finish - (self._warmup_done_at or 0.0)
+        return self._result(elapsed)
+
+    def _result(self, elapsed: float) -> RunResult:
+        nm_stats = self.nm_device.stats()
+        fm_stats = self.fm_device.stats()
+        energy_model = EnergyModel(cpu_ghz=self.config.core.frequency_ghz)
+        energy = energy_model.breakdown(
+            nm_stats.bytes_total, fm_stats.bytes_total, elapsed)
+        edp = energy.total_joules * energy_model.cycles_to_seconds(elapsed)
+        return RunResult(
+            scheme_name=self.scheme.name,
+            workload_name=self.workload.name,
+            elapsed_cycles=elapsed,
+            core_stats=[core.stats for core in self.cores],
+            scheme_stats=self.scheme.stats,
+            controller_stats=self.controller.stats,
+            nm_stats=nm_stats,
+            fm_stats=fm_stats,
+            energy=energy,
+            edp=edp,
+            extras={
+                "nm_utilization": self.nm_device.utilization(elapsed),
+                "fm_utilization": self.fm_device.utilization(elapsed),
+            },
+        )

@@ -1,0 +1,24 @@
+"""Event-driven DRAM substrate (the reproduction's Ramulator stand-in)."""
+
+from repro.dram.bank import Bank, BankStats
+from repro.dram.channel import Channel, ChannelStats
+from repro.dram.device import MemoryDevice
+from repro.dram.mapping import CHANNEL_INTERLEAVE_BYTES, AddressMapper, DRAMCoordinates
+from repro.dram.request import DRAMRequest, Priority
+from repro.dram.timing import DDR3_TIMINGS, HBM2_TIMINGS, DRAMTimings
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BankStats",
+    "CHANNEL_INTERLEAVE_BYTES",
+    "Channel",
+    "ChannelStats",
+    "DDR3_TIMINGS",
+    "DRAMCoordinates",
+    "DRAMRequest",
+    "DRAMTimings",
+    "HBM2_TIMINGS",
+    "MemoryDevice",
+    "Priority",
+]

@@ -1,0 +1,201 @@
+"""One DRAM channel: request queues, an FR-FCFS-style scheduler and a
+shared data bus.
+
+The model is event-driven rather than cycle-stepped: when the scheduler
+picks a request it computes, from the bank's row-buffer state and the
+bus's next free time, when the transfer completes, and schedules that
+completion on the engine.  A small in-flight window (``pipeline_depth``)
+lets the next request's bank preparation overlap the current burst, so
+back-to-back row hits stream at full bus utilisation while row conflicts
+serialise on the bank — the two effects the evaluation depends on.
+
+Scheduling policy (FR-FCFS with priority classes): demand requests beat
+background (swap/migration) traffic; within a class, row-buffer hits are
+preferred; ties go to the oldest request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.request import DRAMRequest, Priority
+from repro.dram.timing import DRAMTimings
+from repro.sim.engine import Engine
+
+
+@dataclass
+class ChannelStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    demand_bytes: int = 0
+    background_bytes: int = 0
+    bus_busy_cycles: float = 0.0
+    total_queue_wait: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def mean_queue_wait(self) -> float:
+        return self.total_queue_wait / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used for warmup discarding)."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.demand_bytes = 0
+        self.background_bytes = 0
+        self.bus_busy_cycles = 0.0
+        self.total_queue_wait = 0.0
+        self.max_queue_depth = 0
+
+
+class Channel:
+    """A single channel of one memory device."""
+
+    #: how many scheduled-but-incomplete requests may overlap; sized to
+    #: the paper's 32-entry per-channel queues so all 8 banks of a
+    #: channel can be preparing rows while the bus streams data.
+    pipeline_depth = 16
+    #: FR-FCFS lookahead: only this many of the oldest requests per
+    #: priority class are considered for row-hit reordering (a real
+    #: scheduler's window is similarly bounded; this also keeps the pick
+    #: cost O(window) under deep backlogs).
+    scheduler_window = 32
+
+    def __init__(self, engine: Engine, timings: DRAMTimings) -> None:
+        self._engine = engine
+        self._t = timings
+        self._banks = [Bank(timings) for _ in range(timings.banks)]
+        self._demand_queue: Deque[DRAMRequest] = deque()
+        self._background_queue: Deque[DRAMRequest] = deque()
+        self._bus_free: float = 0.0
+        self._inflight = 0
+        self._picks = 0
+        self.refreshes = 0
+        self.stats = ChannelStats()
+        if timings.t_refi > 0:
+            engine.schedule(timings.t_refi * timings.cpu_cycles_per_mem,
+                            self._refresh)
+
+    def _refresh(self) -> None:
+        """All-bank refresh: every bank precharges and is unavailable
+        for tRFC (only modelled when the device enables t_refi).
+
+        Note: the refresh chain reschedules itself forever, so an
+        engine driving a refresh-enabled device never drains — run it
+        with a horizon (``engine.run(until=...)``) or via ``System.run``
+        (which stops when the cores finish)."""
+        cpm = self._t.cpu_cycles_per_mem
+        done = self._engine.now + self._t.t_rfc * cpm
+        for bank in self._banks:
+            bank.open_row = None
+            bank.ready = max(bank.ready, done)
+        self.refreshes += 1
+        self._engine.schedule(self._t.t_refi * cpm, self._refresh)
+
+    #: how many demand requests are served for each background request
+    #: when both queues are non-empty.  Background (swap/migration/
+    #: writeback) traffic is deprioritised but NOT starved: migration
+    #: bandwidth competing with demand is the effect the paper's
+    #: PoM-vs-subblocking comparison rests on.
+    background_share = 4
+
+    def submit(self, request: DRAMRequest) -> None:
+        """Enqueue a request; it completes via ``request.on_complete``."""
+        queue = (self._demand_queue if request.priority == Priority.DEMAND
+                 else self._background_queue)
+        queue.append(request)
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                         self.queue_depth)
+        self._try_issue()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._demand_queue) + len(self._background_queue)
+
+    def bank(self, index: int) -> Bank:
+        return self._banks[index]
+
+    # ------------------------------------------------------------------
+    def _try_issue(self) -> None:
+        while self.queue_depth and self._inflight < self.pipeline_depth:
+            request = self._pick()
+            self._issue(request)
+
+    #: oldest-request age (CPU cycles) beyond which FR-FCFS stops
+    #: reordering past it — the standard starvation cap that keeps an
+    #: endlessly row-hitting stream from blocking a row-miss forever.
+    #: Loose enough that it only fires on genuine starvation, not on
+    #: ordinary backlog (row batching is what keeps conflict-heavy
+    #: streams from spiralling).
+    starvation_cap = 2500.0
+
+    def _pick(self) -> DRAMRequest:
+        """FR-FCFS within the scheduler window.  Demand is preferred over
+        background traffic at a ``background_share`` ratio, so migrations
+        are delayed under load but still consume real bandwidth."""
+        if not self._demand_queue:
+            queue = self._background_queue
+        elif not self._background_queue:
+            queue = self._demand_queue
+        else:
+            self._picks += 1
+            if self._picks % (self.background_share + 1) == 0:
+                queue = self._background_queue
+            else:
+                queue = self._demand_queue
+        best_index = 0
+        if self._engine.now - queue[0].arrival < self.starvation_cap:
+            limit = min(len(queue), self.scheduler_window)
+            for i in range(limit):
+                req = queue[i]
+                if self._banks[req.coords.bank].open_row == req.coords.row:
+                    best_index = i
+                    break
+        best = queue[best_index]
+        del queue[best_index]
+        return best
+
+    def _issue(self, request: DRAMRequest) -> None:
+        now = self._engine.now
+        bank = self._banks[request.coords.bank]
+        data_ready = bank.prepare(request.coords.row, now)
+        data_start = max(data_ready, self._bus_free)
+        burst = self._t.burst_mem_cycles(request.size) * self._t.cpu_cycles_per_mem
+        completion = data_start + burst
+        self._bus_free = completion
+        self._inflight += 1
+        self.stats.bus_busy_cycles += burst
+        self.stats.total_queue_wait += data_start - request.arrival
+        self._engine.schedule_at(completion, self._complete, request)
+
+    def _complete(self, request: DRAMRequest) -> None:
+        request.completed_at = self._engine.now
+        self._inflight -= 1
+        if request.is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += request.size
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += request.size
+        if request.priority == Priority.DEMAND:
+            self.stats.demand_bytes += request.size
+        else:
+            self.stats.background_bytes += request.size
+        if request.on_complete is not None:
+            request.on_complete(self._engine.now)
+        self._try_issue()

@@ -1,0 +1,155 @@
+"""A complete memory device: channels + address interleaving.
+
+Accesses larger than one interleave unit (64 B) are split into chunks
+that land on successive channels; the completion callback fires when the
+last chunk finishes.  This is how a 2 KB PoM migration naturally spreads
+over (and saturates) all channels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dram.channel import Channel, ChannelStats
+from repro.dram.mapping import CHANNEL_INTERLEAVE_BYTES, AddressMapper, DRAMCoordinates
+from repro.dram.request import DRAMRequest, Priority
+from repro.dram.timing import DRAMTimings
+from repro.sim.engine import Engine
+
+
+class MemoryDevice:
+    """One of the flat memory's two levels (NM or FM)."""
+
+    def __init__(self, engine: Engine, timings: DRAMTimings, capacity_bytes: int,
+                 name: Optional[str] = None,
+                 metadata_base: Optional[int] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if metadata_base is not None and not 0 < metadata_base < capacity_bytes:
+            raise ValueError("metadata_base must fall inside the device")
+        self._engine = engine
+        self.timings = timings
+        self.capacity_bytes = capacity_bytes
+        self.name = name or timings.name
+        self._mapper = AddressMapper(timings)
+        self.channels = [Channel(engine, timings) for _ in range(timings.channels)]
+        #: accesses at or beyond ``metadata_base`` are routed to a
+        #: dedicated metadata channel (the paper stores remap metadata in
+        #: a separate channel for row-buffer locality and to keep it out
+        #: of the data channels' way — Section III-D).
+        self.metadata_base = metadata_base
+        self.meta_channel = Channel(engine, timings) if metadata_base else None
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, size: int, is_write: bool,
+               priority: Priority = Priority.DEMAND,
+               on_complete: Optional[Callable[[float], None]] = None) -> None:
+        """Issue a device access of ``size`` bytes at device-local ``addr``.
+
+        ``on_complete(time)`` fires once, after every chunk has finished.
+        """
+        if not 0 <= addr < self.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} outside {self.name} capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if addr + size > self.capacity_bytes:
+            raise ValueError("access crosses end of device")
+
+        if self.metadata_base is not None and addr >= self.metadata_base:
+            self._access_metadata(addr, size, is_write, priority, on_complete)
+            return
+
+        chunks = self._chunks(addr, size)
+        remaining = len(chunks)
+
+        def chunk_done(when: float) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete(when)
+
+        for chunk_addr, chunk_size in chunks:
+            coords = self._mapper.map(chunk_addr)
+            request = DRAMRequest(
+                addr=chunk_addr,
+                size=chunk_size,
+                is_write=is_write,
+                priority=priority,
+                arrival=self._engine.now,
+                coords=coords,
+                on_complete=chunk_done,
+            )
+            self.channels[coords.channel].submit(request)
+
+    def _access_metadata(self, addr: int, size: int, is_write: bool,
+                         priority: Priority,
+                         on_complete: Optional[Callable[[float], None]]) -> None:
+        """One request on the dedicated metadata channel.
+
+        Layout: 32 B groups (one congruence set's remap entries) are
+        interleaved across the channel's banks, so a serial scan of one
+        set's entries stays in one row while *different* hot sets hit
+        different banks in parallel — without this the channel would be
+        tCCD-bound on a single bank.
+        """
+        offset = addr - self.metadata_base
+        group = offset // 32
+        banks = self.timings.banks
+        groups_per_row = self.timings.row_bytes // 32
+        coords = DRAMCoordinates(
+            channel=0,
+            bank=group % banks,
+            row=group // banks // groups_per_row,
+            column_offset=(group // banks % groups_per_row) * 32 + offset % 32,
+        )
+        request = DRAMRequest(
+            addr=addr,
+            size=size,
+            is_write=is_write,
+            priority=priority,
+            arrival=self._engine.now,
+            coords=coords,
+            on_complete=on_complete,
+        )
+        self.meta_channel.submit(request)
+
+    @staticmethod
+    def _chunks(addr: int, size: int):
+        """Split [addr, addr+size) at interleave-unit boundaries."""
+        chunks = []
+        end = addr + size
+        while addr < end:
+            boundary = (addr // CHANNEL_INTERLEAVE_BYTES + 1) * CHANNEL_INTERLEAVE_BYTES
+            chunk_end = min(end, boundary)
+            chunks.append((addr, chunk_end - addr))
+            addr = chunk_end
+        return chunks
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> ChannelStats:
+        total = ChannelStats()
+        extra = [self.meta_channel] if self.meta_channel is not None else []
+        for channel in self.channels + extra:
+            s = channel.stats
+            total.reads += s.reads
+            total.writes += s.writes
+            total.bytes_read += s.bytes_read
+            total.bytes_written += s.bytes_written
+            total.demand_bytes += s.demand_bytes
+            total.background_bytes += s.background_bytes
+            total.bus_busy_cycles += s.bus_busy_cycles
+            total.total_queue_wait += s.total_queue_wait
+            total.max_queue_depth = max(total.max_queue_depth, s.max_queue_depth)
+        return total
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Mean data-bus utilisation across channels over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        busy = sum(c.stats.bus_busy_cycles for c in self.channels)
+        return busy / (elapsed_cycles * len(self.channels))

@@ -1,0 +1,12 @@
+"""Energy and EDP modelling."""
+
+from repro.energy.model import (
+    DDR3_ENERGY,
+    HBM_ENERGY,
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParams,
+)
+
+__all__ = ["DDR3_ENERGY", "EnergyBreakdown", "EnergyModel", "EnergyParams",
+           "HBM_ENERGY"]

@@ -1,0 +1,81 @@
+"""Multiprogrammed *mixes*: heterogeneous per-core workloads.
+
+The paper evaluates rate mode (16 copies of one benchmark); real
+consolidated servers run mixes.  This extension assigns a different
+Table III benchmark to each core — footprints are divided as in rate
+mode, so the total memory pressure stays comparable — and reuses the
+whole scheme/experiment machinery.
+
+Predefined mixes:
+
+* ``mix-high``   — the five high-MPKI benchmarks round-robin: maximum
+  bandwidth pressure.
+* ``mix-low``    — the four low-MPKI benchmarks: latency-sensitive.
+* ``mix-blend``  — one of each class in turn: the consolidation case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cpu.system import RunResult, System
+from repro.experiments.runner import SCHEMES
+from repro.sim.config import SystemConfig
+from repro.workloads.model import WorkloadSpec
+from repro.workloads.spec import HIGH_MPKI, LOW_MPKI, MEDIUM_MPKI, per_core_spec
+
+MIXES: Dict[str, List[str]] = {
+    "mix-high": HIGH_MPKI,
+    "mix-low": LOW_MPKI,
+    "mix-blend": [LOW_MPKI[0], MEDIUM_MPKI[0], HIGH_MPKI[0],
+                  LOW_MPKI[1], MEDIUM_MPKI[1], HIGH_MPKI[1]],
+}
+
+
+def mix_specs(mix_name: str, config: SystemConfig) -> List[WorkloadSpec]:
+    """One per-core spec per core, cycling through the mix's members."""
+    if mix_name not in MIXES:
+        raise KeyError(f"unknown mix {mix_name!r}; have {sorted(MIXES)}")
+    members = MIXES[mix_name]
+    return [
+        per_core_spec(members[core % len(members)], config)
+        for core in range(config.cores)
+    ]
+
+
+def run_mix(scheme_key: str, mix_name: str, config: SystemConfig,
+            misses_per_core: int = 5_000, seed: Optional[int] = None,
+            warmup_fraction: float = 0.2) -> RunResult:
+    """Simulate one scheme on a heterogeneous mix."""
+    if scheme_key not in SCHEMES:
+        raise KeyError(f"unknown scheme {scheme_key!r}")
+    setup = SCHEMES[scheme_key]
+    specs = mix_specs(mix_name, config)
+    system = System(
+        config,
+        scheme_factory=setup.factory,
+        workload=specs[0],
+        misses_per_core=misses_per_core,
+        alloc_policy=setup.alloc_policy,
+        seed=seed,
+        workload_per_core=specs,
+        warmup_fraction=warmup_fraction,
+    )
+    result = system.run()
+    result.scheme_name = scheme_key
+    result.workload_name = mix_name
+    return result
+
+
+def mix_speedups(mix_name: str, config: SystemConfig,
+                 scheme_keys: Optional[List[str]] = None,
+                 misses_per_core: int = 5_000,
+                 seed: Optional[int] = None) -> Dict[str, float]:
+    """Speedup over the no-NM baseline for each scheme on a mix."""
+    scheme_keys = scheme_keys or ["cam", "pom", "silc"]
+    baseline = run_mix("nonm", mix_name, config, misses_per_core, seed)
+    return {
+        key: run_mix(key, mix_name, config, misses_per_core,
+                     seed).speedup_over(baseline)
+        for key in scheme_keys
+    }

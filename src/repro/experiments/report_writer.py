@@ -1,0 +1,196 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every artefact.
+
+``write_experiments_report`` runs the full grid once (or reuses a
+caller-provided :class:`SuiteRunner`) and renders a markdown report with
+one section per paper table/figure, so the repository's recorded numbers
+are always regenerable from a single entry point::
+
+    python -c "from repro.experiments.report_writer import main; main()"
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.figures import FIG6_LABELS, FIG6_STAGES, FIG7_SCHEMES
+from repro.experiments.runner import SCHEMES, SuiteRunner
+from repro.sim.config import SystemConfig, default_config
+from repro.stats.collectors import geometric_mean
+from repro.workloads.spec import BENCHMARKS
+
+#: paper-reported reference values used in the comparison columns
+PAPER = {
+    "fig6_swap_only": 1.55,
+    "fig6_total": 1.82,
+    "fig7_silc_vs_best": 1.36,
+    "fig8_silc_share": 0.76,
+    "fig8_hma_share": 0.71,
+    "fig8_pom_share": 0.58,
+    "fig9_silc": {16: 1.83, 8: None, 4: 2.04},
+    "fig9_best_other": {16: 1.47, 8: None, 4: 1.76},
+    "edp_vs_best": 0.87,
+}
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def write_experiments_report(path: Union[str, Path],
+                             runner: Optional[SuiteRunner] = None,
+                             config: Optional[SystemConfig] = None,
+                             misses_per_core: int = 8_000,
+                             fig9_misses: Optional[int] = None,
+                             fig9_workloads: Optional[List[str]] = None) -> str:
+    """Run the evaluation grid and write the markdown report.
+
+    Returns the rendered text (also written to ``path``).
+    """
+    config = config or default_config()
+    runner = runner or SuiteRunner(config, misses_per_core=misses_per_core)
+    sections: List[str] = []
+
+    sections.append(
+        "# EXPERIMENTS — paper vs measured\n\n"
+        "All measured numbers come from the scaled simulation described in "
+        "DESIGN.md (capacity/bandwidth/footprint *ratios* preserved; "
+        "absolute cycle counts are not comparable to the paper's testbed). "
+        f"Configuration: NM {config.nm_bytes >> 20} MiB + FM "
+        f"{config.fm_bytes >> 20} MiB, {config.cores} cores, "
+        f"{misses_per_core} LLC misses/core (20% warmup discarded). "
+        "Regenerate with `pytest benchmarks/ --benchmark-only -s` or "
+        "`python -c \"from repro.experiments.report_writer import main; "
+        "main()\"`.\n")
+
+    # ------------------------------------------------------------ fig 7
+    fig7: Dict[str, Dict[str, float]] = {}
+    for scheme in FIG7_SCHEMES:
+        fig7[scheme] = {wl: runner.speedup(scheme, wl) for wl in BENCHMARKS}
+        fig7[scheme]["geomean"] = geometric_mean(
+            [fig7[scheme][wl] for wl in BENCHMARKS])
+    headers = ["workload"] + [SCHEMES[s].label for s in FIG7_SCHEMES]
+    rows = [[wl] + [_fmt(fig7[s][wl]) for s in FIG7_SCHEMES]
+            for wl in BENCHMARKS + ["geomean"]]
+    silc = fig7["silc"]["geomean"]
+    best_other = max(fig7[s]["geomean"] for s in FIG7_SCHEMES if s != "silc")
+    sections.append(
+        "## Fig. 7 — scheme comparison (speedup over no-NM baseline)\n\n"
+        + _md_table(headers, rows)
+        + f"\n\nSILC-FM vs best other scheme: **{silc / best_other:.3f}x** "
+          f"(paper: {PAPER['fig7_silc_vs_best']:.2f}x).\n")
+
+    # ------------------------------------------------------------ fig 6
+    stages = ["rand"] + FIG6_STAGES
+    labels = dict(FIG6_LABELS, rand="Random")
+    fig6 = {}
+    for stage in stages:
+        per = {wl: runner.speedup(stage, wl) for wl in BENCHMARKS}
+        per["geomean"] = geometric_mean([per[wl] for wl in BENCHMARKS])
+        fig6[stage] = per
+    rows = []
+    previous = None
+    for stage in stages:
+        geo = fig6[stage]["geomean"]
+        delta = "-" if previous is None else f"{(geo / previous - 1) * 100:+.1f}%"
+        rows.append([labels[stage], _fmt(geo), delta])
+        previous = geo
+    sections.append(
+        "## Fig. 6 — feature breakdown (geomean speedup)\n\n"
+        + _md_table(["stage", "geomean speedup", "delta"], rows)
+        + f"\n\nPaper: swap-only ≈ {PAPER['fig6_swap_only']}x over static "
+          f"placement with +11%/+8%/+8% from locking/associativity/bypass, "
+          f"full stack ≈ {PAPER['fig6_total']}x.\n")
+
+    # ------------------------------------------------------------ fig 8
+    rows = []
+    for scheme in FIG7_SCHEMES:
+        share = sum(runner.result(scheme, wl).access_rate
+                    for wl in BENCHMARKS) / len(BENCHMARKS)
+        paper_ref = {"silc": PAPER["fig8_silc_share"],
+                     "hma": PAPER["fig8_hma_share"],
+                     "pom": PAPER["fig8_pom_share"]}.get(scheme, "-")
+        rows.append([SCHEMES[scheme].label, _fmt(share), paper_ref])
+    sections.append(
+        "## Fig. 8 — NM share of demand traffic (ideal 0.8)\n\n"
+        + _md_table(["scheme", "measured", "paper"], rows) + "\n")
+
+    # ------------------------------------------------------------ EDP
+    rows = []
+    for scheme in FIG7_SCHEMES:
+        ratios = [runner.result(scheme, wl).edp
+                  / runner.result("nonm", wl).edp for wl in BENCHMARKS]
+        rows.append([SCHEMES[scheme].label, _fmt(geometric_mean(ratios))])
+    sections.append(
+        "## §V — EDP normalised to no-NM baseline (lower is better)\n\n"
+        + _md_table(["scheme", "geomean EDP ratio"], rows)
+        + f"\n\nPaper: SILC-FM at ~{PAPER['edp_vs_best']:.2f}x the best "
+          "state-of-the-art scheme's EDP (−13%).\n")
+
+    # ------------------------------------------------------------ fig 9
+    fig9_workloads = fig9_workloads or ["xalancbmk", "gcc", "gemsFDTD",
+                                        "mcf", "milc", "cactusADM"]
+    fig9_misses = fig9_misses or max(2000, misses_per_core // 2)
+    fig9_schemes = ["hma", "cam", "camp", "pom", "silc"]
+    sweep: Dict[str, Dict[int, float]] = {s: {} for s in fig9_schemes}
+    for ratio in (16, 8, 4):
+        sub_runner = SuiteRunner(config.with_ratio(ratio),
+                                 misses_per_core=fig9_misses)
+        for scheme in fig9_schemes:
+            sweep[scheme][ratio] = geometric_mean(
+                [sub_runner.speedup(scheme, wl) for wl in fig9_workloads])
+    rows = [[SCHEMES[s].label] + [_fmt(sweep[s][r]) for r in (16, 8, 4)]
+            for s in fig9_schemes]
+    sections.append(
+        "## Fig. 9 — NM capacity sweep (geomean speedup, subset suite)\n\n"
+        + _md_table(["scheme", "NM=1/16", "NM=1/8", "NM=1/4"], rows)
+        + f"\n\nPaper: SILC-FM {PAPER['fig9_silc'][16]} → "
+          f"{PAPER['fig9_silc'][4]}; best other "
+          f"{PAPER['fig9_best_other'][16]} → {PAPER['fig9_best_other'][4]} "
+          "over the same sweep.\n")
+
+    sections.append(
+        "## Known deviations from the paper\n\n"
+        "* **PoM is stronger here than in the paper.**  Our synthetic hot "
+        "sets reward its one-time whole-page placement more than the "
+        "authors' traces did; SILC-FM still leads, but by a smaller margin "
+        "than the paper's +36%.\n"
+        "* **Locking is roughly performance-neutral on the geomean** "
+        "(paper: +11%).  At simulation scale, fully displacing a native "
+        "page costs more relative to the lock's benefit because runs are "
+        "too short to amortise the full-block fetch; the locking "
+        "machinery itself (thresholds, aging, unlocking, the "
+        "all-locked fallback) is implemented and unit-tested per the "
+        "paper.\n"
+        "* **Associativity's gain is small and workload-dependent** "
+        "(paper: +8% average).  Higher associativity buys a higher access "
+        "rate but spreads the NM-resident set over more DRAM rows at "
+        "scaled capacities (see DESIGN.md 5b on row-size scaling).\n"
+        "* **HMA's absolute level depends on the scaled epoch economics** "
+        "(DESIGN.md 5b); its qualitative behaviour — fully associative "
+        "placement wins on stable hot sets, epoch lag loses on churn — "
+        "matches the paper.\n"
+        "* **CAMEO+prefetch overshoots the NM bandwidth share** exactly as "
+        "the paper's Fig. 8 describes; on some workloads that costs it "
+        "performance relative to plain CAMEO.\n")
+    text = "\n".join(sections)
+    Path(path).write_text(text)
+    return text
+
+
+def main() -> None:
+    """Write EXPERIMENTS.md in the repository root."""
+    root = Path(__file__).resolve().parents[3]
+    while not (root / "pyproject.toml").exists() and root != root.parent:
+        root = root.parent
+    target = root / "EXPERIMENTS.md"
+    write_experiments_report(target)
+    print(f"wrote {target}")

@@ -1,0 +1,90 @@
+"""Parameter-sweep tooling: one-dimensional sensitivity studies over any
+SILC-FM parameter or system knob.
+
+``sweep_silcfm`` re-runs one workload while varying a single
+``SilcFmConfig`` field; ``sweep_system`` does the same for system-level
+knobs expressed as config transformers.  Both normalise against a shared
+no-NM baseline, so the output is directly plottable as a sensitivity
+curve (the ablation benches are thin wrappers over these).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.silcfm import SilcFmScheme
+from repro.cpu.system import RunResult, System
+from repro.experiments.runner import run_one
+from repro.sim.config import SystemConfig
+from repro.workloads.spec import per_core_spec
+
+
+def sweep_silcfm(field: str, values: Sequence, workload: str,
+                 config: SystemConfig, misses_per_core: int = 4_000,
+                 seed: Optional[int] = None,
+                 warmup_fraction: float = 0.2) -> Dict[str, float]:
+    """Speedup over the no-NM baseline for each value of one
+    ``SilcFmConfig`` field.
+
+    >>> sweep_silcfm("associativity", [1, 2, 4], "gcc", config)  # doctest: +SKIP
+    {'1': 1.9, '2': 2.0, '4': 2.1}
+    """
+    if field not in {f.name for f in dataclasses.fields(config.silcfm)}:
+        raise KeyError(f"SilcFmConfig has no field {field!r}")
+    baseline = run_one("nonm", workload, config,
+                       misses_per_core=misses_per_core, seed=seed)
+    results: Dict[str, float] = {}
+    for value in values:
+        def factory(space, cfg, value=value):
+            return SilcFmScheme(
+                space, dataclasses.replace(cfg.silcfm, **{field: value}))
+
+        system = System(config, factory, per_core_spec(workload, config),
+                        misses_per_core=misses_per_core,
+                        alloc_policy="interleaved", seed=seed,
+                        warmup_fraction=warmup_fraction)
+        results[str(value)] = system.run().speedup_over(baseline)
+    return results
+
+
+def sweep_system(transform: Callable[[SystemConfig, object], SystemConfig],
+                 values: Sequence, scheme_key: str, workload: str,
+                 config: SystemConfig, misses_per_core: int = 4_000,
+                 seed: Optional[int] = None) -> Dict[str, float]:
+    """Speedup curve over system-level variations.
+
+    ``transform(config, value)`` produces the varied configuration; each
+    point is normalised to its *own* no-NM baseline (so capacity sweeps
+    compare like with like).
+    """
+    results: Dict[str, float] = {}
+    for value in values:
+        varied = transform(config, value)
+        baseline = run_one("nonm", workload, varied,
+                           misses_per_core=misses_per_core, seed=seed)
+        run = run_one(scheme_key, workload, varied,
+                      misses_per_core=misses_per_core, seed=seed)
+        results[str(value)] = run.speedup_over(baseline)
+    return results
+
+
+def capacity_transform(config: SystemConfig, ratio: int) -> SystemConfig:
+    """The Fig. 9 knob: FM:NM capacity ratio."""
+    return config.with_ratio(ratio)
+
+
+def mlp_transform(config: SystemConfig, window: int) -> SystemConfig:
+    """Core memory-level-parallelism window (outstanding misses)."""
+    return dataclasses.replace(
+        config, core=dataclasses.replace(config.core,
+                                         max_outstanding_misses=window))
+
+
+def sweep_table(results_by_label: Dict[str, Dict[str, float]]) -> List[List]:
+    """Arrange several sweeps into table rows for reporting."""
+    rows: List[List] = []
+    for label, curve in results_by_label.items():
+        for x, y in curve.items():
+            rows.append([label, x, y])
+    return rows

@@ -1,0 +1,119 @@
+"""Alloy-Cache-style hardware DRAM cache (Qureshi & Loh, MICRO 2012).
+
+The paper's Section II contrasts part-of-memory designs against using
+NM as a big hardware *cache*: direct-mapped at 64 B, the tag alloyed
+with the data in one extended burst (a TAD unit), FM always holding the
+home copy.  A cache gives up NM's capacity (the OS sees only FM) but
+never needs swap-restore machinery, and a 100% hit rate is its optimum
+(there is no bandwidth-balancing argument — the paper's Section III-E
+point only applies to part-of-memory organisations).
+
+Included so downstream users can quantify the capacity-vs-simplicity
+trade the paper's introduction motivates.  Distinctives vs CAMEO:
+
+* FM is the home of *all* data; NM holds copies (no bijection over
+  NM+FM — the no-capacity-gain drawback);
+* clean evictions are free, dirty ones write back 64 B;
+* a miss fills the line from FM (no displaced-line swap writes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.schemes.base import AccessPlan, Level, MemoryScheme, Op
+from repro.sim.config import SUBBLOCK_BYTES
+from repro.xmem.address import AddressSpace
+
+#: tag-and-data unit: 64 B line + 8 B tag in one burst.
+TAD_BYTES = SUBBLOCK_BYTES + 8
+
+
+class AlloyCacheScheme(MemoryScheme):
+    """NM as a direct-mapped, tag-with-data hardware cache over FM.
+
+    Use with the ``fm_only`` allocation policy: the OS only sees FM
+    capacity (the scheme asserts this by construction — NM-space
+    addresses are rejected).
+    """
+
+    name = "alloy"
+
+    def __init__(self, space: AddressSpace) -> None:
+        super().__init__(space)
+        self.num_slots = space.nm_bytes // SUBBLOCK_BYTES
+        #: slot -> (cached FM line number, dirty)
+        self._slot: Dict[int, Tuple[int, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.dirty_writebacks = 0
+
+    # ------------------------------------------------------------------
+    def access(self, paddr: int, is_write: bool, pc: int = 0) -> AccessPlan:
+        self.on_memory_access()
+        if self.space.is_nm(paddr):
+            raise ValueError(
+                "Alloy cache exposes only FM capacity; allocate pages with "
+                "the fm_only policy")
+        line = self.space.fm_offset(paddr) // SUBBLOCK_BYTES
+        slot = line % self.num_slots
+        tad_read = Op(Level.NM, slot * SUBBLOCK_BYTES, TAD_BYTES, False)
+
+        cached = self._slot.get(slot)
+        if cached is not None and cached[0] == line:
+            self.hits += 1
+            if is_write:
+                self._slot[slot] = (line, True)
+            plan = AccessPlan(serviced_from=Level.NM, stages=[[tad_read]],
+                              note="hit")
+            self.record_plan(plan)
+            return plan
+
+        self.misses += 1
+        background = []
+        if cached is not None and cached[1]:
+            # dirty victim: write the line back to its FM home
+            self.dirty_writebacks += 1
+            background.append(
+                Op(Level.FM, cached[0] * SUBBLOCK_BYTES, SUBBLOCK_BYTES, True))
+        # fill: install line + tag into the slot
+        background.append(Op(Level.NM, slot * SUBBLOCK_BYTES, TAD_BYTES, True))
+        self._slot[slot] = (line, is_write)
+        plan = AccessPlan(
+            serviced_from=Level.FM,
+            stages=[[tad_read],
+                    [Op(Level.FM, line * SUBBLOCK_BYTES, SUBBLOCK_BYTES, False)]],
+            background=background,
+            note="miss",
+        )
+        self.record_plan(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def locate(self, paddr: int) -> Tuple[Level, int]:
+        """Where the *current* copy of the data is serviced from.
+
+        Note: a cache is deliberately NOT a bijection over NM+FM — FM is
+        always the home; NM holds copies.  ``locate`` points at the NM
+        copy while it is cached (it may be the only up-to-date copy when
+        dirty) and the FM home otherwise.
+        """
+        if self.space.is_nm(paddr):
+            raise ValueError("NM is not part of the address space here")
+        offset = self.space.fm_offset(paddr)
+        line = offset // SUBBLOCK_BYTES
+        slot = line % self.num_slots
+        cached = self._slot.get(slot)
+        if cached is not None and cached[0] == line:
+            return Level.NM, slot * SUBBLOCK_BYTES + offset % SUBBLOCK_BYTES
+        return Level.FM, offset
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def usable_capacity_bytes(self) -> int:
+        """The cache's capacity cost: the OS-visible space excludes NM."""
+        return self.space.fm_bytes

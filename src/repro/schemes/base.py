@@ -1,0 +1,164 @@
+"""Scheme protocol: how a flat-memory organisation talks to the system.
+
+A scheme is the hardware remapping logic between the LLC miss stream and
+the two memory devices.  For each miss it returns an :class:`AccessPlan`:
+
+* ``stages`` — the *critical path*: a list of stages, each a list of
+  device operations issued in parallel; stage *i+1* starts when stage
+  *i* completes; the miss returns to the core when the last stage
+  completes.  (E.g. CAMEO's "NM tag+data read, then FM read on
+  mismatch" is two stages.)
+* ``background`` — traffic that does not block the core (swap installs,
+  displaced-data writebacks, migrations, prefetches) but competes for
+  device bandwidth.
+* ``serviced_from`` — which level supplied the demand data; the access
+  rate (Eq. 1 of the paper) is the fraction of misses serviced from NM.
+
+Metadata state changes are applied *synchronously* inside
+:meth:`MemoryScheme.access` (standard trace-driven practice); only the
+timing is deferred to the plan.  :meth:`MemoryScheme.locate` exposes the
+current storage location of any flat address so the test-suite can check
+the fundamental part-of-memory invariant: **the mapping from flat
+addresses to storage slots is a bijection** (no duplication, no loss —
+unlike a cache, NM data is the only copy).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.xmem.address import AddressSpace
+
+
+class Level(Enum):
+    """One of the two memory levels."""
+
+    NM = "nm"
+    FM = "fm"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One device operation: ``size`` bytes at device-local ``addr``."""
+
+    level: Level
+    addr: int
+    size: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.addr < 0 or self.size <= 0:
+            raise ValueError("op must have non-negative addr, positive size")
+
+
+@dataclass
+class AccessPlan:
+    """What one LLC miss costs and where it was serviced from."""
+
+    serviced_from: Level
+    stages: List[List[Op]] = field(default_factory=list)
+    background: List[Op] = field(default_factory=list)
+    #: True when bandwidth balancing deliberately routed this to FM.
+    bypassed: bool = False
+    #: free-form tag used by tests ("row" of Table I, etc.)
+    note: str = ""
+
+    def critical_ops(self) -> List[Op]:
+        """All critical-path operations, flattened across stages."""
+        return [op for stage in self.stages for op in stage]
+
+    def total_bytes(self) -> int:
+        """Total bytes this plan moves (critical + background)."""
+        return sum(op.size for op in self.critical_ops()) + sum(
+            op.size for op in self.background
+        )
+
+
+@dataclass
+class SchemeStats:
+    """Counters every scheme maintains via ``record_plan``."""
+
+    misses: int = 0
+    nm_serviced: int = 0
+    fm_serviced: int = 0
+    bypassed: int = 0
+    subblock_swaps: int = 0
+    block_migrations: int = 0
+
+    @property
+    def access_rate(self) -> float:
+        """Fraction of LLC misses serviced from NM (paper Eq. 1)."""
+        return self.nm_serviced / self.misses if self.misses else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used for warmup discarding)."""
+        self.misses = 0
+        self.nm_serviced = 0
+        self.fm_serviced = 0
+        self.bypassed = 0
+        self.subblock_swaps = 0
+        self.block_migrations = 0
+
+
+class MemoryScheme(abc.ABC):
+    """Base class for all flat-memory organisations."""
+
+    name: str = "abstract"
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self.stats = SchemeStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def access(self, paddr: int, is_write: bool, pc: int = 0) -> AccessPlan:
+        """Handle one LLC miss at flat physical address ``paddr``."""
+
+    @abc.abstractmethod
+    def locate(self, paddr: int) -> Tuple[Level, int]:
+        """Current storage slot (level, device-local byte offset) holding
+        the data of flat address ``paddr`` — at subblock granularity."""
+
+    # ------------------------------------------------------------------
+    def writeback(self, paddr: int) -> AccessPlan:
+        """An LLC dirty eviction: write 64 B to wherever the data lives.
+
+        Pure background traffic; does not move data or update metadata.
+        """
+        level, offset = self.locate(paddr)
+        op = Op(level, offset - offset % 64, 64, is_write=True)
+        return AccessPlan(serviced_from=level, background=[op])
+
+    def epoch_period_cycles(self) -> Optional[float]:
+        """Epoch-driven schemes (HMA) return their interval; others None."""
+        return None
+
+    def epoch(self) -> Tuple[List[Op], float]:
+        """Run one epoch: returns (migration traffic, OS stall cycles)."""
+        return [], 0.0
+
+    def on_memory_access(self) -> None:
+        """Called once per LLC miss for age/epoch bookkeeping."""
+
+    # ------------------------------------------------------------------
+    def record_plan(self, plan: AccessPlan) -> None:
+        """Fold one access plan into the scheme's counters."""
+        self.stats.misses += 1
+        if plan.bypassed:
+            self.stats.bypassed += 1
+        if plan.serviced_from is Level.NM:
+            self.stats.nm_serviced += 1
+        else:
+            self.stats.fm_serviced += 1
+
+    # helpers shared by subclasses ----------------------------------------
+    def _nm_data_op(self, nm_offset: int, size: int = 64,
+                    is_write: bool = False) -> Op:
+        return Op(Level.NM, nm_offset, size, is_write)
+
+    def _fm_data_op(self, fm_offset: int, size: int = 64,
+                    is_write: bool = False) -> Op:
+        return Op(Level.FM, fm_offset, size, is_write)

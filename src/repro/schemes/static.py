@@ -1,0 +1,51 @@
+"""Static placement schemes: no hardware migration.
+
+* :class:`StaticScheme` — data stays at its allocated physical frame
+  forever.  Combined with a ``fm_only`` frame allocator it is the
+  paper's **baseline** (system without die-stacked DRAM); with a
+  ``random`` allocator it is the **Random** comparison scheme; with
+  ``nm_first`` it is a greedy static placement.
+
+The interesting behaviour lives entirely in the OS frame-allocation
+policy (:class:`repro.xmem.translation.FrameAllocator`); the scheme
+itself is the identity mapping, which also makes it the reference point
+for the part-of-memory bijection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.schemes.base import AccessPlan, Level, MemoryScheme
+from repro.xmem.address import AddressSpace
+
+
+class StaticScheme(MemoryScheme):
+    """Identity mapping: the flat address *is* the storage location."""
+
+    name = "static"
+
+    def __init__(self, space: AddressSpace) -> None:
+        super().__init__(space)
+
+    def access(self, paddr: int, is_write: bool, pc: int = 0) -> AccessPlan:
+        self.on_memory_access()
+        level, offset = self.locate(paddr)
+        aligned = offset - offset % 64
+        plan = AccessPlan(
+            serviced_from=level,
+            stages=[[self._op(level, aligned, is_write)]],
+            note="static",
+        )
+        self.record_plan(plan)
+        return plan
+
+    def locate(self, paddr: int) -> Tuple[Level, int]:
+        if self.space.is_nm(paddr):
+            return Level.NM, self.space.nm_offset(paddr)
+        return Level.FM, self.space.fm_offset(paddr)
+
+    def _op(self, level: Level, offset: int, is_write: bool):
+        if level is Level.NM:
+            return self._nm_data_op(offset, is_write=is_write)
+        return self._fm_data_op(offset, is_write=is_write)

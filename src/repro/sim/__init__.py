@@ -1,0 +1,30 @@
+"""Simulation kernel: discrete-event engine and system configuration."""
+
+from repro.sim.config import (
+    BLOCK_BYTES,
+    SUBBLOCK_BYTES,
+    SUBBLOCKS_PER_BLOCK,
+    CacheConfig,
+    CacheHierarchyConfig,
+    CoreConfig,
+    SilcFmConfig,
+    SystemConfig,
+    default_config,
+    paper_config,
+)
+from repro.sim.engine import Engine, SimulationError
+
+__all__ = [
+    "BLOCK_BYTES",
+    "SUBBLOCK_BYTES",
+    "SUBBLOCKS_PER_BLOCK",
+    "CacheConfig",
+    "CacheHierarchyConfig",
+    "CoreConfig",
+    "Engine",
+    "SilcFmConfig",
+    "SimulationError",
+    "SystemConfig",
+    "default_config",
+    "paper_config",
+]

@@ -1,0 +1,205 @@
+"""System configuration (the paper's Table II) and simulation scaling.
+
+The paper simulates a 16-core, 4-wide out-of-order system with private
+L1s, a shared 8 MB L2 LLC, an 8-channel HBM near memory (NM) and a
+4-channel DDR3 far memory (FM).  Both buses run at 800 MHz (DDR 1.6 GT/s);
+HBM's 128-bit channels vs DDR3's 64-bit channels and the 8:4 channel split
+give the 4:1 NM:FM bandwidth ratio the bypass feature targets.
+
+Because a cycle-level Python simulation cannot run 16 billion
+instructions, every capacity is scaled down by a common factor while the
+ratios that drive the paper's results (footprint:NM, FM:NM capacity and
+bandwidth, MPKI, hot-set fraction) are preserved.  ``SystemConfig`` holds
+the scaled values actually simulated; ``paper_config`` documents the
+unscaled Table II numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DDR3_TIMINGS, HBM2_TIMINGS, DRAMTimings
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: 64 B: the transfer unit between LLC and memory, and SILC-FM's subblock.
+SUBBLOCK_BYTES = 64
+#: 2 KB: the paper's large block / OS page size.
+BLOCK_BYTES = 2048
+#: Subblocks per large block (32 -> one 32-bit residency vector per block).
+SUBBLOCKS_PER_BLOCK = BLOCK_BYTES // SUBBLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core pipeline parameters (Table II, processor section)."""
+
+    frequency_ghz: float = 3.2
+    issue_width: int = 4
+    rob_entries: int = 128
+    #: Maximum LLC misses a core keeps in flight (memory-level
+    #: parallelism).  A 128-entry ROB with ~1 miss / 10 instructions
+    #: sustains roughly this many outstanding misses.
+    max_outstanding_misses: int = 8
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+    line_bytes: int = SUBBLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """Table II cache section (sizes scaled alongside memory)."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * KB, 2, 4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(16 * KB, 4, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(8 * MB, 16, 11)
+    )
+
+
+@dataclass(frozen=True)
+class SilcFmConfig:
+    """Parameters of the SILC-FM mechanism itself (Section III)."""
+
+    associativity: int = 4
+    #: Access-count threshold above which a block is considered hot and
+    #: locked (the paper found 50 works best).
+    hot_threshold: int = 50
+    #: Aging: counters shift right every this many memory accesses.
+    #: The paper uses one million; at simulation scale (traces of a few
+    #: hundred thousand misses rather than billions) the period scales
+    #: down so hotness decays several times per run — otherwise every
+    #: warm block saturates its 6-bit counter and locks forever.
+    aging_period_accesses: int = 50_000
+    #: Bit-vector history table entries (paper: ~1 M; scaled with memory).
+    bitvector_table_entries: int = 65536
+    #: Way/location predictor entries (paper: 4 K).
+    predictor_entries: int = 4096
+    #: SRAM metadata (remap-entry) cache entries.  The full remap table
+    #: lives in the NM metadata channel; hot frames' entries are cached
+    #: in SRAM — the same class of structure as PoM's remap cache and
+    #: the paper's own SRAM bit-vector table — so the metadata channel
+    #: only sees cold-set traffic.
+    metadata_cache_entries: int = 256
+    #: Target NM share of demand traffic for bandwidth balancing
+    #: (NM:FM bandwidth is 4:1 so the ideal share is 4/5).
+    bypass_target_access_rate: float = 0.8
+    #: Sliding window (in LLC misses) over which the access rate is
+    #: measured for the bypass decision.
+    access_rate_window: int = 4096
+    #: Feature gates, used by the Fig. 6 cumulative breakdown.
+    enable_locking: bool = True
+    enable_bypass: bool = True
+    enable_predictor: bool = True
+    enable_bitvector_history: bool = True
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything a simulation run needs.
+
+    The default instance is the *scaled* Table II system: capacities are
+    divided by ``scale`` (default 1024) so a full 14-benchmark sweep runs
+    in minutes, while all capacity/bandwidth ratios match the paper.
+    """
+
+    cores: int = 16
+    core: CoreConfig = field(default_factory=CoreConfig)
+    caches: CacheHierarchyConfig = field(default_factory=CacheHierarchyConfig)
+    nm_bytes: int = 4 * MB
+    fm_bytes: int = 16 * MB
+    nm_timings: DRAMTimings = field(default_factory=lambda: HBM2_TIMINGS)
+    fm_timings: DRAMTimings = field(default_factory=lambda: DDR3_TIMINGS)
+    silcfm: SilcFmConfig = field(default_factory=SilcFmConfig)
+    page_bytes: int = BLOCK_BYTES
+    #: Remap-metadata read size (one remap entry + bit vector + counters).
+    metadata_bytes: int = 8
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nm_bytes % BLOCK_BYTES:
+            raise ValueError("nm_bytes must be a multiple of the 2KB block")
+        if self.fm_bytes % BLOCK_BYTES:
+            raise ValueError("fm_bytes must be a multiple of the 2KB block")
+        if self.fm_bytes < self.nm_bytes:
+            raise ValueError("far memory must be at least as large as near memory")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Flat address space size: NM and FM both contribute capacity."""
+        return self.nm_bytes + self.fm_bytes
+
+    @property
+    def nm_blocks(self) -> int:
+        return self.nm_bytes // BLOCK_BYTES
+
+    @property
+    def fm_blocks(self) -> int:
+        return self.fm_bytes // BLOCK_BYTES
+
+    @property
+    def fm_to_nm_ratio(self) -> int:
+        return self.fm_bytes // self.nm_bytes
+
+    def with_ratio(self, fm_to_nm: int) -> "SystemConfig":
+        """A copy with a different FM:NM capacity ratio (Fig. 9 sweep),
+        holding FM capacity constant so the workload footprint pressure
+        stays comparable."""
+        return dataclasses.replace(self, nm_bytes=self.fm_bytes // fm_to_nm)
+
+    def with_silcfm(self, **overrides) -> "SystemConfig":
+        """A copy with SILC-FM feature gates / parameters overridden."""
+        return dataclasses.replace(
+            self, silcfm=dataclasses.replace(self.silcfm, **overrides)
+        )
+
+
+def paper_config() -> SystemConfig:
+    """The unscaled Table II system (4 GB NM : 16 GB FM).
+
+    Provided for documentation and for users with the patience for a
+    full-scale run; the test-suite and benches use the scaled default.
+    """
+    return SystemConfig(nm_bytes=4 * GB, fm_bytes=16 * GB)
+
+
+def default_config(scale: float = 2.0) -> SystemConfig:
+    """The scaled simulation config.
+
+    The default scale (NM = 8 MiB, 4096 frames) is the smallest at which
+    hot working sets populate enough DRAM rows per bank for row-buffer
+    behaviour to look like the paper's full-size system.  ``scale`` can
+    be raised for higher fidelity (benches grow trace lengths to match)
+    and can also be set with the ``REPRO_SCALE`` environment variable.
+    """
+    env = os.environ.get("REPRO_SCALE")
+    if env is not None:
+        scale = float(env)
+    nm = int(4 * MB * scale) // BLOCK_BYTES * BLOCK_BYTES
+    # the shared LLC scales with memory capacity (the paper's 8 MB L2
+    # sits under GB-scale footprints; an unscaled L2 would swallow the
+    # scaled hot sets entirely and no miss stream would survive it)
+    l2_size = 64 * KB
+    while l2_size < 8 * MB * scale / 512:
+        l2_size *= 2
+    caches = CacheHierarchyConfig(
+        l2=CacheConfig(int(l2_size), 16, 11))
+    return SystemConfig(nm_bytes=nm, fm_bytes=4 * nm, caches=caches)

@@ -1,0 +1,83 @@
+"""Small statistics utilities used across the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean — the paper's aggregate for per-benchmark speedups."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class RunningStat:
+    """Streaming mean/variance/min/max (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """Fixed-width bucket histogram for latency/queue-depth profiles."""
+
+    def __init__(self, bucket_width: float, max_buckets: int = 256) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_width = bucket_width
+        self.max_buckets = max_buckets
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        bucket = min(int(value / self.bucket_width), self.max_buckets - 1)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """Upper edge of the bucket containing the p-th percentile."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = self.count * p / 100.0
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                return (bucket + 1) * self.bucket_width
+        return (max(self._buckets) + 1) * self.bucket_width
+
+    def buckets(self) -> List:
+        return sorted(self._buckets.items())

@@ -1,0 +1,36 @@
+"""Synthetic workload generation (the Pin/SPEC-trace substitute)."""
+
+from repro.workloads.model import PC_BASE, PC_POOL_SIZE, WorkloadModel, WorkloadSpec
+from repro.workloads.spec import (
+    BENCHMARKS,
+    HIGH_MPKI,
+    LOW_MPKI,
+    MEDIUM_MPKI,
+    benchmark_spec,
+    per_core_spec,
+    suite,
+)
+from repro.workloads.trace import (
+    MemoryAccess,
+    interleave_round_robin,
+    materialize,
+    trace_stats,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "HIGH_MPKI",
+    "LOW_MPKI",
+    "MEDIUM_MPKI",
+    "MemoryAccess",
+    "PC_BASE",
+    "PC_POOL_SIZE",
+    "WorkloadModel",
+    "WorkloadSpec",
+    "benchmark_spec",
+    "interleave_round_robin",
+    "materialize",
+    "per_core_spec",
+    "suite",
+    "trace_stats",
+]

@@ -1,0 +1,6 @@
+"""Flat address space arithmetic and OS-level virtual memory."""
+
+from repro.xmem.address import AddressSpace
+from repro.xmem.translation import FrameAllocator, OutOfMemoryError, PageTable
+
+__all__ = ["AddressSpace", "FrameAllocator", "OutOfMemoryError", "PageTable"]

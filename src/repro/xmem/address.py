@@ -1,0 +1,153 @@
+"""Flat physical address-space arithmetic.
+
+The paper's convention (Section III): NM occupies the **low** physical
+addresses ``[0, nm_bytes)`` and FM the high ones
+``[nm_bytes, nm_bytes + fm_bytes)``.  All schemes reason in terms of
+
+* 64 B **subblocks** (the LLC line / swap unit),
+* 2 KB **large blocks** (the page / remap unit), and
+* **congruence sets**: FM block ``b`` may only occupy NM frames in set
+  ``b mod num_sets``.
+
+:class:`AddressSpace` centralises this arithmetic so every scheme and the
+property-based tests share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SUBBLOCKS_PER_BLOCK
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """The two-level flat physical address space."""
+
+    nm_bytes: int
+    fm_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.nm_bytes <= 0 or self.fm_bytes <= 0:
+            raise ValueError("both memory levels must be non-empty")
+        if self.nm_bytes % BLOCK_BYTES or self.fm_bytes % BLOCK_BYTES:
+            raise ValueError("capacities must be multiples of the 2KB block")
+
+    # ------------------------------------------------------------------
+    # capacities
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.nm_bytes + self.fm_bytes
+
+    @property
+    def nm_blocks(self) -> int:
+        return self.nm_bytes // BLOCK_BYTES
+
+    @property
+    def fm_blocks(self) -> int:
+        return self.fm_bytes // BLOCK_BYTES
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_bytes // BLOCK_BYTES
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        return 0 <= addr < self.total_bytes
+
+    def is_nm(self, addr: int) -> bool:
+        """True when ``addr`` belongs to the NM address range."""
+        self._check(addr)
+        return addr < self.nm_bytes
+
+    def is_fm(self, addr: int) -> bool:
+        self._check(addr)
+        return addr >= self.nm_bytes
+
+    def _check(self, addr: int) -> None:
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} outside flat space")
+
+    # ------------------------------------------------------------------
+    # block / subblock arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def block_of(addr: int) -> int:
+        """Large-block number of an address (global, over NM then FM)."""
+        return addr // BLOCK_BYTES
+
+    @staticmethod
+    def block_base(block: int) -> int:
+        return block * BLOCK_BYTES
+
+    @staticmethod
+    def subblock_of(addr: int) -> int:
+        """Global subblock number."""
+        return addr // SUBBLOCK_BYTES
+
+    @staticmethod
+    def subblock_index(addr: int) -> int:
+        """Index of the subblock within its large block (0..31) — the bit
+        position in the residency bit vector."""
+        return (addr % BLOCK_BYTES) // SUBBLOCK_BYTES
+
+    @staticmethod
+    def subblock_addr(block: int, index: int) -> int:
+        """Physical address of subblock ``index`` of large block ``block``."""
+        if not 0 <= index < SUBBLOCKS_PER_BLOCK:
+            raise ValueError(f"subblock index {index} out of range")
+        return block * BLOCK_BYTES + index * SUBBLOCK_BYTES
+
+    def fm_block_of(self, addr: int) -> int:
+        """Block number inside FM (0-based within the FM region)."""
+        if not self.is_fm(addr):
+            raise ValueError(f"{addr:#x} is not an FM address")
+        return (addr - self.nm_bytes) // BLOCK_BYTES
+
+    def nm_block_of(self, addr: int) -> int:
+        """Block number inside NM (== the NM frame number it lives in)."""
+        if not self.is_nm(addr):
+            raise ValueError(f"{addr:#x} is not an NM address")
+        return addr // BLOCK_BYTES
+
+    # device-local offsets -------------------------------------------------
+    def nm_offset(self, addr: int) -> int:
+        """Device-local byte offset within the NM device."""
+        if not self.is_nm(addr):
+            raise ValueError(f"{addr:#x} is not an NM address")
+        return addr
+
+    def fm_offset(self, addr: int) -> int:
+        """Device-local byte offset within the FM device."""
+        if not self.is_fm(addr):
+            raise ValueError(f"{addr:#x} is not an FM address")
+        return addr - self.nm_bytes
+
+    # ------------------------------------------------------------------
+    # congruence sets
+    # ------------------------------------------------------------------
+    def num_sets(self, associativity: int) -> int:
+        """Number of congruence sets when NM frames are grouped
+        ``associativity`` ways."""
+        if associativity <= 0 or self.nm_blocks % associativity:
+            raise ValueError(
+                f"associativity {associativity} does not divide "
+                f"{self.nm_blocks} NM frames"
+            )
+        return self.nm_blocks // associativity
+
+    def set_of_block(self, block: int, associativity: int) -> int:
+        """Congruence set of a global block number (paper Section III:
+        index = block address mod number of sets)."""
+        return block % self.num_sets(associativity)
+
+    def nm_frames_of_set(self, set_index: int, associativity: int) -> list:
+        """The NM frame numbers (== NM-resident block numbers) forming
+        ``set_index``'s ways."""
+        sets = self.num_sets(associativity)
+        if not 0 <= set_index < sets:
+            raise ValueError(f"set {set_index} out of range")
+        return [set_index + way * sets for way in range(associativity)]

@@ -1,0 +1,161 @@
+"""Virtual-to-physical translation with 2 KB pages.
+
+The paper implements virtual-to-physical translation with a 2 KB page
+size and runs 16 single-threaded benchmark instances whose physical
+address spaces never overlap (rate mode).  We reproduce that with one
+:class:`PageTable` per core/process drawing frames from a shared
+:class:`FrameAllocator`.
+
+Frame-allocation policy is what distinguishes the *static* placement
+schemes:
+
+* ``interleaved`` — pages striped over the whole flat space (NM+FM) in
+  proportion to capacity; the OS-oblivious default under hardware
+  migration schemes.
+* ``random`` — the paper's Random static baseline.
+* ``fm_only`` — the no-NM baseline (all pages in far memory).
+* ``nm_first`` — greedy: NM until full, then FM.
+
+The epoch-based HMA scheme additionally *remaps* pages at runtime via
+:meth:`PageTable.remap`, modelling OS page migration + TLB shootdown.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.config import BLOCK_BYTES
+from repro.xmem.address import AddressSpace
+
+
+class OutOfMemoryError(RuntimeError):
+    """All physical frames are in use."""
+
+
+class FrameAllocator:
+    """Hands out physical page frames (2 KB) from the flat space."""
+
+    POLICIES = ("interleaved", "random", "fm_only", "nm_first")
+
+    def __init__(self, space: AddressSpace, policy: str = "interleaved",
+                 seed: int = 1) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown allocation policy {policy!r}")
+        self.space = space
+        self.policy = policy
+        self._free = self._build_order(policy, seed)
+        self._next = 0
+
+    def _build_order(self, policy: str, seed: int) -> List[int]:
+        nm = list(range(self.space.nm_blocks))
+        fm = list(range(self.space.nm_blocks, self.space.total_blocks))
+        if policy == "fm_only":
+            return fm
+        if policy == "nm_first":
+            return nm + fm
+        if policy == "random":
+            frames = nm + fm
+            random.Random(seed).shuffle(frames)
+            return frames
+        # interleaved: one NM frame per fm_to_nm_ratio FM frames, so a
+        # footprint samples NM in proportion to its share of capacity.
+        ratio = max(1, self.space.fm_blocks // self.space.nm_blocks)
+        frames: List[int] = []
+        nm_iter, fm_iter = iter(nm), iter(fm)
+        exhausted = False
+        while not exhausted:
+            exhausted = True
+            nxt = next(nm_iter, None)
+            if nxt is not None:
+                frames.append(nxt)
+                exhausted = False
+            for _ in range(ratio):
+                nxt = next(fm_iter, None)
+                if nxt is not None:
+                    frames.append(nxt)
+                    exhausted = False
+        return frames
+
+    def allocate(self) -> int:
+        """Return the next free frame number."""
+        if self._next >= len(self._free):
+            raise OutOfMemoryError(
+                f"out of physical frames after {self._next} allocations"
+            )
+        frame = self._free[self._next]
+        self._next += 1
+        return frame
+
+    @property
+    def frames_allocated(self) -> int:
+        return self._next
+
+    @property
+    def frames_total(self) -> int:
+        return len(self._free)
+
+
+class PageTable:
+    """Per-process translation, populated on first touch."""
+
+    def __init__(self, allocator: FrameAllocator, asid: int = 0) -> None:
+        self._allocator = allocator
+        self.asid = asid
+        self._vpage_to_frame: Dict[int, int] = {}
+        self._frame_to_vpage: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual address, allocating a frame on first touch."""
+        if vaddr < 0:
+            raise ValueError("negative virtual address")
+        vpage, offset = divmod(vaddr, BLOCK_BYTES)
+        frame = self._vpage_to_frame.get(vpage)
+        if frame is None:
+            frame = self._allocator.allocate()
+            self._vpage_to_frame[vpage] = frame
+            self._frame_to_vpage[frame] = vpage
+        return frame * BLOCK_BYTES + offset
+
+    def frame_of(self, vpage: int) -> Optional[int]:
+        return self._vpage_to_frame.get(vpage)
+
+    def vpage_of(self, frame: int) -> Optional[int]:
+        return self._frame_to_vpage.get(frame)
+
+    def remap(self, vpage: int, new_frame: int) -> int:
+        """Move ``vpage`` to ``new_frame`` (OS page migration).
+
+        Returns the old frame.  The caller (HMA) is responsible for
+        charging migration traffic and TLB-shootdown time.
+        """
+        if vpage not in self._vpage_to_frame:
+            raise KeyError(f"vpage {vpage} is not mapped")
+        if new_frame in self._frame_to_vpage:
+            raise ValueError(f"frame {new_frame} already holds a page")
+        old = self._vpage_to_frame[vpage]
+        del self._frame_to_vpage[old]
+        self._vpage_to_frame[vpage] = new_frame
+        self._frame_to_vpage[new_frame] = vpage
+        return old
+
+    def swap_frames(self, vpage_a: int, vpage_b: int) -> None:
+        """Exchange the frames of two mapped pages (bulk NM<->FM swap)."""
+        fa = self._vpage_to_frame[vpage_a]
+        fb = self._vpage_to_frame[vpage_b]
+        self._vpage_to_frame[vpage_a] = fb
+        self._vpage_to_frame[vpage_b] = fa
+        self._frame_to_vpage[fa] = vpage_b
+        self._frame_to_vpage[fb] = vpage_a
+
+    # ------------------------------------------------------------------
+    def mapped_pages(self) -> Iterable[int]:
+        return self._vpage_to_frame.keys()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._vpage_to_frame)
+
+    def footprint_bytes(self) -> int:
+        return self.resident_pages * BLOCK_BYTES

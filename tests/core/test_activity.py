@@ -1,0 +1,75 @@
+"""Tests for the activity monitor (aging counters)."""
+
+import pytest
+
+from repro.core.activity import ActivityMonitor
+from repro.core.metadata import FrameMetadata
+
+
+def make_monitor(n_frames=4, threshold=5, period=100):
+    frames = [FrameMetadata() for _ in range(n_frames)]
+    return frames, ActivityMonitor(frames, hot_threshold=threshold,
+                                   aging_period=period)
+
+
+def test_tick_counts_and_triggers_aging():
+    frames, monitor = make_monitor(period=10)
+    frames[0].nm_count = 8
+    aged = [monitor.tick() for _ in range(10)]
+    assert aged == [False] * 9 + [True]
+    assert frames[0].nm_count == 4
+    assert monitor.agings == 1
+
+
+def test_hotness_classification():
+    frames, monitor = make_monitor(threshold=5)
+    frames[0].nm_count = 5
+    assert monitor.nm_block_hot(frames[0])
+    frames[0].nm_count = 4
+    assert not monitor.nm_block_hot(frames[0])
+
+
+def test_fm_hotness_requires_remap():
+    frames, monitor = make_monitor(threshold=5)
+    frames[1].fm_count = 10
+    assert not monitor.fm_block_hot(frames[1])  # nothing remapped
+    frames[1].remap = 77
+    assert monitor.fm_block_hot(frames[1])
+
+
+def test_stale_locks_detected_after_cooling():
+    frames, monitor = make_monitor(threshold=8, period=10)
+    frames[2].remap = 5
+    frames[2].fm_count = 10
+    frames[2].lock("fm")
+    assert list(monitor.stale_locks()) == []
+    for _ in range(20):  # two aging passes: 10 -> 5 -> 2
+        monitor.tick()
+    assert list(monitor.stale_locks()) == [2]
+
+
+def test_nm_owner_locks_judged_by_nm_counter():
+    frames, monitor = make_monitor(threshold=8)
+    frames[0].nm_count = 20
+    frames[0].lock("nm")
+    frames[0].fm_count = 0  # irrelevant for an nm lock
+    assert list(monitor.stale_locks()) == []
+    frames[0].nm_count = 3
+    assert list(monitor.stale_locks()) == [0]
+
+
+def test_invalid_parameters_rejected():
+    frames = [FrameMetadata()]
+    with pytest.raises(ValueError):
+        ActivityMonitor(frames, hot_threshold=0)
+    with pytest.raises(ValueError):
+        ActivityMonitor(frames, aging_period=0)
+
+
+def test_aging_affects_all_frames():
+    frames, monitor = make_monitor(n_frames=3)
+    for frame in frames:
+        frame.nm_count = 16
+        frame.fm_count = 2
+    monitor.age_all()
+    assert all(f.nm_count == 8 and f.fm_count == 1 for f in frames)

@@ -1,0 +1,75 @@
+"""Tests for the bit-vector history table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVectorHistoryTable, history_index
+from repro.core.metadata import FULL_BITVEC
+
+
+def test_save_then_lookup_roundtrip():
+    table = BitVectorHistoryTable(1024)
+    table.save(pc=0x400123, first_subblock_addr=0x8000, bitvec=0b1011)
+    assert table.lookup(0x400123, 0x8000) == 0b1011
+
+
+def test_lookup_without_history_returns_zero():
+    table = BitVectorHistoryTable(1024)
+    assert table.lookup(1, 2) == 0
+    assert table.hit_rate == 0.0
+
+
+def test_index_mixes_pc_and_address():
+    entries = 4096
+    base = history_index(0x400000, 0, entries)
+    assert history_index(0x400000, 64, entries) != base
+    assert history_index(0x400004, 0, entries) != base
+
+
+def test_direct_mapped_collisions_overwrite():
+    table = BitVectorHistoryTable(16)
+    table.save(0, 0, 0b1)
+    # same index (pc xor sb both 0 mod 16)
+    table.save(0, 16 * 64, 0b10)  # sb=16 -> index 0 xor 16 = 16 mod 16 = 0
+    assert table.lookup(0, 16 * 64) == 0b10
+
+
+def test_stats_track_hits():
+    table = BitVectorHistoryTable(64)
+    table.save(3, 64, 0b111)
+    table.lookup(3, 64)
+    table.lookup(5, 128)
+    assert table.lookups == 2
+    assert table.hits == 1
+    assert table.hit_rate == 0.5
+    assert table.saves == 1
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        BitVectorHistoryTable(1000)
+    with pytest.raises(ValueError):
+        history_index(0, 0, 48)
+
+
+def test_out_of_range_bitvec_rejected():
+    table = BitVectorHistoryTable(64)
+    with pytest.raises(ValueError):
+        table.save(0, 0, FULL_BITVEC + 1)
+    with pytest.raises(ValueError):
+        table.save(0, 0, -1)
+
+
+@given(pc=st.integers(min_value=0, max_value=1 << 48),
+       addr=st.integers(min_value=0, max_value=1 << 34),
+       vec=st.integers(min_value=0, max_value=FULL_BITVEC))
+def test_any_saved_vector_is_recoverable(pc, addr, vec):
+    table = BitVectorHistoryTable(4096)
+    table.save(pc, addr, vec)
+    assert table.lookup(pc, addr) == vec
+
+
+@given(pc=st.integers(min_value=0), addr=st.integers(min_value=0))
+def test_index_always_in_range(pc, addr):
+    assert 0 <= history_index(pc, addr, 4096) < 4096

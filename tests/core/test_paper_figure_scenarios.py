@@ -1,0 +1,108 @@
+"""Scenario tests replaying the paper's worked examples.
+
+Figure 2 ("Example of Interleaved Swap"): back-to-back requests to FM
+subblocks F and H bring them one by one from FM block 1 into NM block 0;
+the corresponding NM subblocks B and D are swapped out to block 1; any
+subsequent access to F and H is serviced from NM.
+
+Figure 3 ("Locking and Associativity"): a locked block keeps all its
+subblocks in NM; other blocks of the same set remain reachable through
+the remaining ways.
+"""
+
+from repro.core.silcfm import SilcFmScheme
+from repro.schemes.base import Level
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SilcFmConfig
+from repro.xmem.address import AddressSpace
+
+NM_BLOCKS = 8
+NM = NM_BLOCKS * BLOCK_BYTES
+FM = 32 * BLOCK_BYTES
+PC = 1 << 40
+
+
+def direct_mapped():
+    return SilcFmScheme(AddressSpace(NM, FM), SilcFmConfig(
+        associativity=1, enable_locking=False, enable_bypass=False,
+        enable_predictor=False, enable_bitvector_history=False,
+        bitvector_table_entries=64, metadata_cache_entries=8,
+        access_rate_window=32))
+
+
+def four_way(hot_threshold=4):
+    return SilcFmScheme(AddressSpace(NM, FM), SilcFmConfig(
+        associativity=4, hot_threshold=hot_threshold,
+        enable_bypass=False, enable_predictor=False,
+        enable_bitvector_history=False, bitvector_table_entries=64,
+        metadata_cache_entries=8, access_rate_window=32,
+        aging_period_accesses=10_000))
+
+
+def test_figure2_interleaved_swap():
+    """The paper's Figure 2, positions F (index 1) and H (index 3) of FM
+    'block 1' interleaving into NM 'block 0'."""
+    scheme = direct_mapped()
+    # NM block 0's congruence partner: the first FM block mapping to set 0
+    fm_block = NM_BLOCKS  # global block number
+    f_addr = fm_block * BLOCK_BYTES + 1 * SUBBLOCK_BYTES  # "subblock F"
+    h_addr = fm_block * BLOCK_BYTES + 3 * SUBBLOCK_BYTES  # "subblock H"
+    b_addr = 0 * BLOCK_BYTES + 1 * SUBBLOCK_BYTES         # NM "subblock B"
+    d_addr = 0 * BLOCK_BYTES + 3 * SUBBLOCK_BYTES         # NM "subblock D"
+
+    scheme.access(f_addr, False, pc=PC)   # F brought in
+    scheme.access(h_addr, False, pc=PC)   # H brought in
+
+    # F and H now live in NM block 0, positions 1 and 3
+    assert scheme.locate(f_addr) == (Level.NM, 1 * SUBBLOCK_BYTES)
+    assert scheme.locate(h_addr) == (Level.NM, 3 * SUBBLOCK_BYTES)
+    # B and D were swapped out to block 1's home, positions 1 and 3
+    assert scheme.locate(b_addr) == (Level.FM, 1 * SUBBLOCK_BYTES)
+    assert scheme.locate(d_addr) == (Level.FM, 3 * SUBBLOCK_BYTES)
+    # "Any subsequent access to subblock F and H will be serviced from NM"
+    assert scheme.access(f_addr, False, pc=PC).serviced_from is Level.NM
+    assert scheme.access(h_addr, False, pc=PC).serviced_from is Level.NM
+    # the frame is genuinely interleaved: two blocks coexist
+    assert scheme.frame(0).interleaved
+    # no duplicate copies anywhere: total capacity is NM + FM
+    assert scheme.frame(0).bitvec == 0b1010
+
+
+def test_figure3_locking_with_associativity():
+    """Locking a hot block must not make the set unreachable: other
+    blocks still swap in through the remaining ways (Section III-C)."""
+    scheme = four_way(hot_threshold=3)
+    sets = NM_BLOCKS // 4
+    hot_block = NM_BLOCKS          # maps to set 0
+    cold_block = NM_BLOCKS + sets  # also set 0
+
+    hot_addr = hot_block * BLOCK_BYTES
+    for __ in range(5):
+        scheme.access(hot_addr, False, pc=PC)
+    hot_way = scheme.way_of_block(hot_block)
+    assert scheme.frame(hot_way).locked
+
+    # "subblock G" of another block can still be swapped into the set
+    g_addr = cold_block * BLOCK_BYTES + 6 * SUBBLOCK_BYTES
+    scheme.access(g_addr, False, pc=PC + 8)
+    cold_way = scheme.way_of_block(cold_block)
+    assert cold_way is not None and cold_way != hot_way
+    assert scheme.access(g_addr, False, pc=PC + 8).serviced_from is Level.NM
+    # the locked block stayed locked and fully resident throughout
+    assert scheme.frame(hot_way).locked
+    for k in range(32):
+        level, __ = scheme.locate(hot_block * BLOCK_BYTES + k * SUBBLOCK_BYTES)
+        assert level is Level.NM
+
+
+def test_no_duplicate_copies_total_capacity_preserved():
+    """'There are no duplicate copies of data and hence the total memory
+    capacity is the sum of NM and FM capacities' — after the Figure 2
+    sequence every storage slot holds exactly one subblock."""
+    scheme = direct_mapped()
+    fm_block = NM_BLOCKS
+    scheme.access(fm_block * BLOCK_BYTES + SUBBLOCK_BYTES, False, pc=PC)
+    scheme.access(fm_block * BLOCK_BYTES + 3 * SUBBLOCK_BYTES, False, pc=PC)
+    slots = set()
+    for sb in range(0, NM + FM, SUBBLOCK_BYTES):
+        slots.add(scheme.locate(sb))
+    assert len(slots) == (NM + FM) // SUBBLOCK_BYTES

@@ -1,0 +1,109 @@
+"""Tests for the way/location predictor and the bandwidth balancer."""
+
+import pytest
+
+from repro.core.bypass import BandwidthBalancer
+from repro.core.predictor import Prediction, WayPredictor
+
+
+# ----------------------------------------------------------------------
+# predictor
+# ----------------------------------------------------------------------
+def test_cold_predictor_returns_no_way():
+    pred = WayPredictor(64)
+    assert pred.predict(0x400, 0x1000) == Prediction(None, False)
+
+
+def test_update_then_predict():
+    pred = WayPredictor(64)
+    pred.update(0x400, 0x1000, way=3, in_fm=True)
+    assert pred.predict(0x400, 0x1000) == Prediction(3, True)
+
+
+def test_subblocks_of_one_block_share_an_entry():
+    """The predicted way/location is a block property, so all 32
+    subblocks of a 2 KB block should alias to the same entry."""
+    pred = WayPredictor(4096)
+    pred.update(0x400, 0x8000, way=2, in_fm=False)
+    for k in range(32):
+        assert pred.predict(0x400, 0x8000 + k * 64) == Prediction(2, False)
+
+
+def test_different_blocks_do_not_necessarily_share():
+    pred = WayPredictor(4096)
+    pred.update(0x400, 0x8000, way=2, in_fm=False)
+    other = pred.predict(0x400, 0x8000 + 2048)
+    assert other == Prediction(None, False)
+
+
+def test_accuracy_accounting():
+    pred = WayPredictor(64)
+    pred.record_outcome(Prediction(1, True), actual_way=1, actually_in_fm=True)
+    pred.record_outcome(Prediction(1, False), actual_way=2, actually_in_fm=False)
+    pred.record_outcome(Prediction(None, False), actual_way=0, actually_in_fm=True)
+    assert pred.way_correct == 1 and pred.way_wrong == 1
+    assert pred.way_accuracy == 0.5
+    # location judged even without a way (default NM guess)
+    assert pred.loc_correct + pred.loc_wrong == 3
+
+
+def test_power_of_two_required():
+    with pytest.raises(ValueError):
+        WayPredictor(1000)
+
+
+# ----------------------------------------------------------------------
+# bandwidth balancer
+# ----------------------------------------------------------------------
+def test_bypass_off_until_first_window():
+    balancer = BandwidthBalancer(0.8, window=16)
+    for _ in range(15):
+        balancer.record(True)
+    assert not balancer.bypassing
+
+
+def test_bypass_engages_above_target():
+    balancer = BandwidthBalancer(0.8, window=16)
+    for _ in range(16):
+        balancer.record(True)  # rate 1.0 > 0.8
+    assert balancer.bypassing
+
+
+def test_bypass_disengages_when_rate_drops():
+    balancer = BandwidthBalancer(0.8, window=16)
+    for _ in range(16):
+        balancer.record(True)
+    assert balancer.bypassing
+    for i in range(16):
+        balancer.record(i % 2 == 0)  # rate 0.5
+    assert not balancer.bypassing
+
+
+def test_rate_exactly_at_target_does_not_bypass():
+    balancer = BandwidthBalancer(0.75, window=16)
+    for i in range(16):
+        balancer.record(i < 12)  # exactly 0.75
+    assert not balancer.bypassing
+
+
+def test_bypassed_counter():
+    balancer = BandwidthBalancer(0.8, window=16)
+    balancer.note_bypassed()
+    balancer.note_bypassed()
+    assert balancer.bypassed_accesses == 2
+
+
+def test_current_window_rate():
+    balancer = BandwidthBalancer(0.8, window=16)
+    balancer.record(True)
+    balancer.record(False)
+    assert balancer.current_window_rate == 0.5
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BandwidthBalancer(0.0)
+    with pytest.raises(ValueError):
+        BandwidthBalancer(1.0)
+    with pytest.raises(ValueError):
+        BandwidthBalancer(0.8, window=4)

@@ -1,0 +1,153 @@
+"""Property-based tests of SILC-FM's fundamental invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata import FULL_BITVEC
+from repro.core.silcfm import SilcFmScheme
+from repro.schemes.base import Level
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SilcFmConfig
+from repro.xmem.address import AddressSpace
+
+NM_BLOCKS = 16
+FM_BLOCKS = 64
+NM = NM_BLOCKS * BLOCK_BYTES
+FM = FM_BLOCKS * BLOCK_BYTES
+
+
+def full_config(**overrides):
+    base = dict(
+        associativity=4,
+        hot_threshold=8,
+        aging_period_accesses=200,
+        bitvector_table_entries=256,
+        predictor_entries=256,
+        metadata_cache_entries=16,
+        access_rate_window=32,
+    )
+    base.update(overrides)
+    return SilcFmConfig(**base)
+
+
+addr_lists = st.lists(
+    st.integers(min_value=0, max_value=NM + FM - 1), min_size=1, max_size=400)
+pc_lists = st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=400)
+
+
+@settings(max_examples=25, deadline=None)
+@given(addrs=addr_lists, pcs=pc_lists)
+def test_bijection_with_all_features(addrs, pcs):
+    """After ANY access sequence — swaps, installs, restores, locks,
+    unlocks, aging, bypassing — every subblock of the flat space lives in
+    exactly one storage slot (the part-of-memory invariant: data is
+    never duplicated or lost)."""
+    scheme = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    for addr, pc in zip(addrs, pcs * (len(addrs) // len(pcs) + 1)):
+        scheme.access(addr - addr % SUBBLOCK_BYTES, addr % 2 == 0,
+                      pc=(1 << 40) + pc * 4)
+    seen = {}
+    for sb in range(0, NM + FM, SUBBLOCK_BYTES):
+        slot = scheme.locate(sb)
+        assert slot not in seen, (
+            f"{sb:#x} and {seen[slot]:#x} both stored at {slot}")
+        seen[slot] = sb
+
+
+@settings(max_examples=25, deadline=None)
+@given(addrs=addr_lists)
+def test_storage_slots_are_exactly_the_flat_space(addrs):
+    """The set of storage slots is exactly {NM offsets} + {FM offsets}:
+    swapping permutes the space, never inventing or leaking slots."""
+    scheme = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    for addr in addrs:
+        scheme.access(addr - addr % SUBBLOCK_BYTES, False, pc=1 << 40)
+    nm_slots = set()
+    fm_slots = set()
+    for sb in range(0, NM + FM, SUBBLOCK_BYTES):
+        level, offset = scheme.locate(sb)
+        assert offset % SUBBLOCK_BYTES == 0
+        (nm_slots if level is Level.NM else fm_slots).add(offset)
+    assert nm_slots == set(range(0, NM, SUBBLOCK_BYTES))
+    assert fm_slots == set(range(0, FM, SUBBLOCK_BYTES))
+
+
+@settings(max_examples=25, deadline=None)
+@given(addrs=addr_lists)
+def test_metadata_consistency(addrs):
+    """Frame metadata and the reverse map always agree; locked frames
+    obey their owner semantics; bit vectors are within range."""
+    scheme = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    for addr in addrs:
+        scheme.access(addr - addr % SUBBLOCK_BYTES, False, pc=1 << 40)
+    reverse_seen = set()
+    for way, frame in enumerate(scheme.frames):
+        assert 0 <= frame.bitvec <= FULL_BITVEC
+        assert 0 <= frame.nm_count <= 63
+        assert 0 <= frame.fm_count <= 63
+        if frame.remap is not None:
+            assert scheme.way_of_block(frame.remap) == way
+            assert frame.remap not in reverse_seen
+            reverse_seen.add(frame.remap)
+            # the remapped block must map to this frame's set
+            assert frame.remap % scheme.num_sets == way % scheme.num_sets
+        else:
+            assert frame.bitvec == 0
+        if frame.locked:
+            assert frame.lock_owner in ("nm", "fm")
+            if frame.lock_owner == "fm":
+                assert frame.remap is not None
+            else:
+                assert frame.remap is None
+    # every reverse-map entry points at a frame that claims it
+    for block, way in scheme._frame_of_block.items():
+        assert scheme.frames[way].remap == block
+
+
+@settings(max_examples=20, deadline=None)
+@given(addrs=addr_lists)
+def test_service_level_matches_locate(addrs):
+    """A plan's serviced_from must agree with where locate() said the
+    data was at access time (before any swap updates)."""
+    scheme = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    for addr in addrs:
+        aligned = addr - addr % SUBBLOCK_BYTES
+        level_before, __ = scheme.locate(aligned)
+        plan = scheme.access(aligned, False, pc=1 << 40)
+        assert plan.serviced_from is level_before
+
+
+@settings(max_examples=20, deadline=None)
+@given(addrs=addr_lists)
+def test_all_ops_are_device_legal(addrs):
+    """Every op in every plan targets a legal device-local range."""
+    scheme = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    meta_region = NM_BLOCKS * 8
+    for addr in addrs:
+        plan = scheme.access(addr - addr % SUBBLOCK_BYTES, False, pc=1 << 40)
+        for op in plan.critical_ops() + plan.background:
+            assert op.size > 0
+            if op.level is Level.NM:
+                assert 0 <= op.addr < NM + meta_region
+                assert op.addr + op.size <= NM + meta_region
+            else:
+                assert 0 <= op.addr < FM
+                assert op.addr + op.size <= FM
+
+
+@settings(max_examples=15, deadline=None)
+@given(addrs=addr_lists, seed=st.integers(min_value=0, max_value=5))
+def test_determinism(addrs, seed):
+    """Two schemes fed the same sequence end in identical states."""
+    a = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    b = SilcFmScheme(AddressSpace(NM, FM), full_config())
+    for addr in addrs:
+        aligned = addr - addr % SUBBLOCK_BYTES
+        pa = a.access(aligned, False, pc=(1 << 40) + seed)
+        pb = b.access(aligned, False, pc=(1 << 40) + seed)
+        assert pa.note == pb.note
+        assert pa.serviced_from == pb.serviced_from
+    for fa, fb in zip(a.frames, b.frames):
+        assert fa.remap == fb.remap
+        assert fa.bitvec == fb.bitvec
+        assert fa.locked == fb.locked

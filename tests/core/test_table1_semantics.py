@@ -1,0 +1,204 @@
+"""Table I of the paper, row by row: the six swap-operation scenarios
+defined by (remap match, bit-vector bit, NM/FM address).
+
+The scheme tags every plan with its Table I row, and the tests verify
+both the tag, the service level, and the data movement (via locate)."""
+
+import pytest
+
+from repro.core.silcfm import SilcFmScheme
+from repro.schemes.base import Level
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SilcFmConfig
+from repro.xmem.address import AddressSpace
+
+NM_BLOCKS = 8
+FM_BLOCKS = 32
+NM = NM_BLOCKS * BLOCK_BYTES
+FM = FM_BLOCKS * BLOCK_BYTES
+
+
+def plain_config(**overrides):
+    base = dict(
+        associativity=1,
+        enable_locking=False,
+        enable_bypass=False,
+        enable_predictor=False,
+        enable_bitvector_history=True,
+        bitvector_table_entries=1024,
+    )
+    base.update(overrides)
+    return SilcFmConfig(**base)
+
+
+def make_scheme(**overrides):
+    return SilcFmScheme(AddressSpace(NM, FM), plain_config(**overrides))
+
+
+def fm_addr(block_k, sub, set_index=0):
+    """Address of subblock ``sub`` of the k-th FM block in ``set_index``
+    (direct-mapped: set == frame)."""
+    block = NM_BLOCKS + set_index + block_k * NM_BLOCKS
+    return block * BLOCK_BYTES + sub * SUBBLOCK_BYTES
+
+
+def nm_addr(frame, sub):
+    return frame * BLOCK_BYTES + sub * SUBBLOCK_BYTES
+
+
+# ----------------------------------------------------------------------
+# rows 5/6: remap mismatch, FM address -> restore + swap
+# ----------------------------------------------------------------------
+def test_row5_first_touch_installs_block():
+    scheme = make_scheme()
+    plan = scheme.access(fm_addr(0, 3), False, pc=7)
+    assert plan.note == "row5"
+    assert plan.serviced_from is Level.FM
+    # demand: the requested FM subblock
+    assert plan.stages[-1][0].level is Level.FM
+    # the subblock is now interleaved into frame 0
+    assert scheme.locate(fm_addr(0, 3))[0] is Level.NM
+    assert scheme.frame(0).remap == NM_BLOCKS
+    assert scheme.frame(0).bit(3)
+
+
+def test_row5_displaces_native_subblock_position_for_position():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    level, offset = scheme.locate(nm_addr(0, 3))
+    assert level is Level.FM
+    # native subblock 3 sits at the partner block's home, position 3
+    assert offset == fm_addr(0, 3) - NM
+
+
+def test_row6_conflicting_block_restores_then_installs():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False, pc=7)
+    plan = scheme.access(fm_addr(1, 5), False, pc=9)  # same set, other block
+    assert plan.note == "row5"  # rows 5/6 share the restore+swap action
+    assert scheme.restores == 1
+    # previous partner fully restored to its home
+    assert scheme.locate(fm_addr(0, 3)) == (Level.FM, fm_addr(0, 3) - NM)
+    # new partner's requested subblock now resident
+    assert scheme.locate(fm_addr(1, 5))[0] is Level.NM
+
+
+# ----------------------------------------------------------------------
+# row 1: remap match, bit set -> service from NM
+# ----------------------------------------------------------------------
+def test_row1_rereference_hits_nm():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    plan = scheme.access(fm_addr(0, 3), False)
+    assert plan.note == "row1"
+    assert plan.serviced_from is Level.NM
+    assert not plan.background
+
+
+# ----------------------------------------------------------------------
+# row 2: remap match, bit clear -> swap subblock from FM
+# ----------------------------------------------------------------------
+def test_row2_other_subblock_swaps_in():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    plan = scheme.access(fm_addr(0, 9), False)
+    assert plan.note == "row2"
+    assert plan.serviced_from is Level.FM
+    assert scheme.frame(0).bit(9)
+    # swap is 64 B-granular: 3 background ops (NM out, NM in, FM home)
+    assert len(plan.background) == 3
+    assert all(op.size == SUBBLOCK_BYTES for op in plan.background)
+
+
+# ----------------------------------------------------------------------
+# row 3: remap mismatch, bit set, NM address -> swap native back
+# ----------------------------------------------------------------------
+def test_row3_native_subblock_swaps_back():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    plan = scheme.access(nm_addr(0, 3), False)
+    assert plan.note == "row3"
+    assert plan.serviced_from is Level.FM  # native data currently at FM home
+    # after the swap-back both are home again
+    assert scheme.locate(nm_addr(0, 3)) == (Level.NM, nm_addr(0, 3))
+    assert scheme.locate(fm_addr(0, 3)) == (Level.FM, fm_addr(0, 3) - NM)
+    assert not scheme.frame(0).bit(3)
+
+
+def test_row3_clearing_last_bit_forgets_remap():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    scheme.access(nm_addr(0, 3), False)
+    assert scheme.frame(0).remap is None
+    assert scheme.way_of_block(NM_BLOCKS) is None
+
+
+# ----------------------------------------------------------------------
+# row 4: remap mismatch, bit clear, NM address -> service from NM
+# ----------------------------------------------------------------------
+def test_row4_untouched_native_subblock_serves_from_nm():
+    scheme = make_scheme()
+    scheme.access(fm_addr(0, 3), False)
+    plan = scheme.access(nm_addr(0, 4), False)  # bit 4 not set
+    assert plan.note == "row4"
+    assert plan.serviced_from is Level.NM
+    assert not plan.background
+
+
+def test_row4_on_virgin_frame():
+    scheme = make_scheme()
+    plan = scheme.access(nm_addr(2, 0), False)
+    assert plan.note == "row4"
+    assert plan.serviced_from is Level.NM
+
+
+# ----------------------------------------------------------------------
+# bit-vector history: restore saves, install batch-fetches
+# ----------------------------------------------------------------------
+def test_history_batch_fetch_on_reinstall():
+    scheme = make_scheme()
+    pc = 0x40000
+    first = fm_addr(0, 3)
+    scheme.access(first, False, pc=pc)
+    scheme.access(fm_addr(0, 9), False, pc=pc)
+    scheme.access(fm_addr(0, 10), False, pc=pc)
+    # evict block 0's partner (same set, different block): saves {3,9,10}
+    scheme.access(fm_addr(1, 0), False, pc=0x999)
+    assert scheme.history.saves == 1
+    # re-install with the same PC and first address: batch fetch
+    plan = scheme.access(first, False, pc=pc)
+    assert plan.note == "row5"
+    frame = scheme.frame(0)
+    assert frame.bit(3) and frame.bit(9) and frame.bit(10)
+    assert scheme.batch_fetched_subblocks >= 2
+    # the batch-fetched subblocks now hit in NM without further swaps
+    assert scheme.access(fm_addr(0, 9), False, pc=pc).note == "row1"
+
+
+def test_history_disabled_fetches_only_demand():
+    scheme = make_scheme(enable_bitvector_history=False)
+    pc = 0x40000
+    scheme.access(fm_addr(0, 3), False, pc=pc)
+    scheme.access(fm_addr(0, 9), False, pc=pc)
+    scheme.access(fm_addr(1, 0), False, pc=0x999)
+    scheme.access(fm_addr(0, 3), False, pc=pc)
+    frame = scheme.frame(0)
+    assert frame.bit(3)
+    assert not frame.bit(9)
+
+
+# ----------------------------------------------------------------------
+# metadata invariants
+# ----------------------------------------------------------------------
+def test_no_block_valid_bit_needed():
+    """Unlike a cache there is no block-level valid bit: every frame is
+    always valid (it always holds data)."""
+    scheme = make_scheme()
+    for frame_index in range(NM_BLOCKS):
+        level, __ = scheme.locate(nm_addr(frame_index, 0))
+        assert level is Level.NM
+
+
+def test_access_rejects_nothing_in_flat_space():
+    scheme = make_scheme()
+    with pytest.raises(ValueError):
+        scheme.access(NM + FM, False)  # out of range

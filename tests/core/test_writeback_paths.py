@@ -1,0 +1,70 @@
+"""Writeback routing tests: dirty LLC evictions must land wherever the
+scheme currently stores the data."""
+
+from repro.core.silcfm import SilcFmScheme
+from repro.schemes.base import Level
+from repro.schemes.cameo import CameoScheme
+from repro.schemes.hma import HmaScheme
+from repro.schemes.pom import PomScheme
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SilcFmConfig
+from repro.xmem.address import AddressSpace
+
+NM = 8 * BLOCK_BYTES
+FM = 32 * BLOCK_BYTES
+
+
+def space():
+    return AddressSpace(NM, FM)
+
+
+def test_silcfm_writeback_follows_swapped_subblock():
+    scheme = SilcFmScheme(space(), SilcFmConfig(
+        associativity=1, enable_predictor=False, enable_bypass=False,
+        enable_locking=False, bitvector_table_entries=64,
+        metadata_cache_entries=8, access_rate_window=32))
+    fm_addr = NM + 3 * SUBBLOCK_BYTES
+    scheme.access(fm_addr, True, pc=1 << 40)  # swapped into NM
+    plan = scheme.writeback(fm_addr)
+    op = plan.background[0]
+    assert op.level is Level.NM
+    assert op.is_write
+    # ... and the displaced native subblock's writeback goes to FM
+    native = 3 * SUBBLOCK_BYTES
+    plan = scheme.writeback(native)
+    assert plan.background[0].level is Level.FM
+
+
+def test_cameo_writeback_follows_line():
+    scheme = CameoScheme(space())
+    slots = NM // SUBBLOCK_BYTES
+    fm_line = NM + 5 * SUBBLOCK_BYTES
+    scheme.access(fm_line, True)
+    assert scheme.writeback(fm_line).background[0].level is Level.NM
+
+
+def test_pom_writeback_follows_migrated_block():
+    scheme = PomScheme(space(), threshold=1)
+    addr = NM + 2 * BLOCK_BYTES
+    scheme.access(addr, True)  # migrates the whole block
+    plan = scheme.writeback(addr + 7 * SUBBLOCK_BYTES)
+    assert plan.background[0].level is Level.NM
+
+
+def test_hma_writeback_follows_epoch_placement():
+    scheme = HmaScheme(space(), hot_threshold=2)
+    addr = NM + 4 * BLOCK_BYTES
+    for __ in range(5):
+        scheme.access(addr, True)
+    assert scheme.writeback(addr).background[0].level is Level.FM
+    scheme.epoch()
+    assert scheme.writeback(addr).background[0].level is Level.NM
+
+
+def test_writeback_is_64b_aligned_background_write():
+    scheme = CameoScheme(space())
+    plan = scheme.writeback(NM + 100)
+    op = plan.background[0]
+    assert op.addr % SUBBLOCK_BYTES == 0
+    assert op.size == SUBBLOCK_BYTES
+    assert op.is_write
+    assert not plan.stages  # never blocks a core

@@ -1,0 +1,62 @@
+"""Tests for address -> (channel, bank, row) mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.mapping import CHANNEL_INTERLEAVE_BYTES, AddressMapper
+from repro.dram.timing import DDR3_TIMINGS, HBM2_TIMINGS
+
+
+def test_consecutive_64b_units_rotate_channels():
+    mapper = AddressMapper(HBM2_TIMINGS)
+    channels = [mapper.map(i * 64).channel for i in range(16)]
+    assert channels == [i % 8 for i in range(16)]
+
+
+def test_within_unit_same_coordinates():
+    mapper = AddressMapper(DDR3_TIMINGS)
+    a = mapper.map(128)
+    b = mapper.map(128 + 63)
+    assert (a.channel, a.bank, a.row) == (b.channel, b.bank, b.row)
+    assert b.column_offset == a.column_offset + 63
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        AddressMapper(DDR3_TIMINGS).map(-1)
+
+
+def test_rows_rotate_banks():
+    mapper = AddressMapper(DDR3_TIMINGS)
+    # same channel, consecutive rows within the channel
+    row_bytes = DDR3_TIMINGS.row_bytes
+    channels = DDR3_TIMINGS.channels
+    # addresses that stay on channel 0, one per channel-row
+    addr_a = 0
+    addr_b = row_bytes * channels  # next row's worth on channel 0
+    a, b = mapper.map(addr_a), mapper.map(addr_b)
+    assert a.channel == b.channel == 0
+    assert b.bank == (a.bank + 1) % DDR3_TIMINGS.banks
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 32))
+def test_coordinates_always_in_range(addr):
+    mapper = AddressMapper(HBM2_TIMINGS)
+    c = mapper.map(addr)
+    assert 0 <= c.channel < HBM2_TIMINGS.channels
+    assert 0 <= c.bank < HBM2_TIMINGS.banks
+    assert c.row >= 0
+    assert 0 <= c.column_offset < HBM2_TIMINGS.row_bytes
+
+
+@given(a=st.integers(min_value=0, max_value=1 << 24),
+       b=st.integers(min_value=0, max_value=1 << 24))
+def test_mapping_is_injective_over_bytes(a, b):
+    """Distinct byte addresses never collide on the full coordinate."""
+    if a == b:
+        return
+    mapper = AddressMapper(HBM2_TIMINGS)
+    ca, cb = mapper.map(a), mapper.map(b)
+    assert (ca.channel, ca.bank, ca.row, ca.column_offset) != (
+        cb.channel, cb.bank, cb.row, cb.column_offset)

@@ -1,0 +1,85 @@
+"""Tests for the dedicated metadata channel (Section III-D layout)."""
+
+import pytest
+
+from repro.dram.device import MemoryDevice
+from repro.dram.request import Priority
+from repro.dram.timing import HBM2_TIMINGS
+from repro.sim.engine import Engine
+
+DATA = 1 << 20
+META = 1 << 16
+
+
+def make_device():
+    engine = Engine()
+    device = MemoryDevice(engine, HBM2_TIMINGS, DATA + META,
+                          metadata_base=DATA)
+    return engine, device
+
+
+def test_metadata_routes_to_dedicated_channel():
+    engine, device = make_device()
+    device.access(DATA + 8, 8, False, Priority.DEMAND, None)
+    engine.run()
+    assert device.meta_channel.stats.reads == 1
+    assert all(c.stats.reads == 0 for c in device.channels)
+
+
+def test_data_does_not_touch_meta_channel():
+    engine, device = make_device()
+    device.access(0, 64, False, Priority.DEMAND, None)
+    engine.run()
+    assert device.meta_channel.stats.reads == 0
+    assert sum(c.stats.reads for c in device.channels) == 1
+
+
+def test_metadata_groups_spread_over_banks():
+    """Consecutive 32 B metadata groups land in different banks so hot
+    sets do not serialise on one bank."""
+    engine, device = make_device()
+    for group in range(HBM2_TIMINGS.banks):
+        device.access(DATA + group * 32, 8, False, Priority.DEMAND, None)
+    engine.run()
+    banks_used = {
+        bank for bank, b in enumerate(device.meta_channel._banks)
+        if b.stats.accesses > 0
+    }
+    assert len(banks_used) == HBM2_TIMINGS.banks
+
+
+def test_one_groups_entries_share_a_row():
+    """The 4 entries (8 B each) of one congruence set share a bank+row,
+    so a serial way scan is a row-hit stream."""
+    engine, device = make_device()
+    for way in range(4):
+        device.access(DATA + way * 8, 8, False, Priority.DEMAND, None)
+    engine.run()
+    bank = device.meta_channel._banks[0]
+    assert bank.stats.accesses == 4
+    # first access opens the row, the other three hit it
+    assert bank.stats.row_hits == 3
+
+
+def test_aggregate_stats_include_meta_channel():
+    engine, device = make_device()
+    device.access(DATA + 8, 8, False, Priority.DEMAND, None)
+    device.access(0, 64, False, Priority.DEMAND, None)
+    engine.run()
+    stats = device.stats()
+    assert stats.reads == 2
+    assert stats.bytes_read == 72
+
+
+def test_invalid_metadata_base_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        MemoryDevice(engine, HBM2_TIMINGS, DATA, metadata_base=DATA + 1)
+    with pytest.raises(ValueError):
+        MemoryDevice(engine, HBM2_TIMINGS, DATA, metadata_base=0)
+
+
+def test_device_without_metadata_region_has_no_meta_channel():
+    engine = Engine()
+    device = MemoryDevice(engine, HBM2_TIMINGS, DATA)
+    assert device.meta_channel is None

@@ -1,0 +1,65 @@
+"""Tests for the optional refresh model."""
+
+import dataclasses
+
+from repro.dram.device import MemoryDevice
+from repro.dram.request import Priority
+from repro.dram.timing import DDR3_TIMINGS
+from repro.sim.engine import Engine
+
+REFRESHING = dataclasses.replace(DDR3_TIMINGS, t_refi=500, t_rfc=88)
+
+
+def test_refresh_disabled_by_default():
+    engine = Engine()
+    MemoryDevice(engine, DDR3_TIMINGS, 1 << 20)
+    assert engine.pending == 0  # no recurring refresh events queued
+
+
+def test_refresh_fires_periodically():
+    engine = Engine()
+    device = MemoryDevice(engine, REFRESHING, 1 << 20)
+    engine.run(until=REFRESHING.t_refi * 4 * 3.5)  # ~3.5 intervals (cpu cycles)
+    assert all(c.refreshes >= 1 for c in device.channels)
+
+
+def test_refresh_closes_rows():
+    engine = Engine()
+    device = MemoryDevice(engine, REFRESHING, 1 << 20)
+    device.access(0, 64, False, Priority.DEMAND, None)
+    engine.run(until=100)
+    channel = device.channels[0]
+    assert channel._banks[0].open_row is not None
+    engine.run(until=REFRESHING.t_refi * 4 + 10)
+    assert channel._banks[0].open_row is None
+
+
+def test_access_during_refresh_waits():
+    engine = Engine()
+    device = MemoryDevice(engine, REFRESHING, 1 << 20)
+    cpm = REFRESHING.cpu_cycles_per_mem
+    refresh_at = REFRESHING.t_refi * cpm
+    engine.run(until=refresh_at + 1)
+    done = []
+    device.access(0, 64, False, Priority.DEMAND, done.append)
+    # NOTE: with refresh enabled the event queue never drains (the
+    # refresh chain reschedules forever), so run to a horizon
+    engine.run(until=refresh_at * 3)
+    assert done, "access never completed"
+    # the access could not start until tRFC elapsed
+    assert done[0] >= refresh_at + REFRESHING.t_rfc * cpm
+
+
+def test_refresh_costs_throughput():
+    def run(timings):
+        engine = Engine()
+        device = MemoryDevice(engine, timings, 1 << 20)
+        remaining = [256]
+        for i in range(256):
+            device.access((i * 64) % (1 << 20), 64, False, Priority.DEMAND,
+                          lambda t: remaining.__setitem__(0, remaining[0] - 1))
+        engine.run(until=10_000_000)
+        return engine.now if remaining[0] == 0 else float("inf")
+
+    heavy = dataclasses.replace(DDR3_TIMINGS, t_refi=200, t_rfc=100)
+    assert run(heavy) > run(DDR3_TIMINGS)

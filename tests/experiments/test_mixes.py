@@ -1,0 +1,56 @@
+"""Tests for heterogeneous workload mixes."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.mixes import MIXES, mix_specs, mix_speedups, run_mix
+from repro.sim.config import default_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(default_config(scale=0.5), cores=4)
+
+
+def test_mix_specs_cycle_over_members(config):
+    specs = mix_specs("mix-blend", config)
+    assert len(specs) == config.cores
+    names = [s.name for s in specs]
+    assert len(set(names)) > 1  # genuinely heterogeneous
+
+
+def test_mix_high_is_all_high_mpki(config):
+    specs = mix_specs("mix-high", config)
+    assert all(s.category == "high" for s in specs)
+
+
+def test_unknown_mix_rejected(config):
+    with pytest.raises(KeyError):
+        mix_specs("mix-bogus", config)
+    with pytest.raises(KeyError):
+        run_mix("silc", "mix-bogus", config)
+
+
+def test_unknown_scheme_rejected(config):
+    with pytest.raises(KeyError):
+        run_mix("bogus", "mix-high", config)
+
+
+def test_run_mix_completes(config):
+    result = run_mix("silc", "mix-blend", config, misses_per_core=600)
+    assert result.elapsed_cycles > 0
+    assert result.workload_name == "mix-blend"
+    assert 0.0 < result.access_rate < 1.0
+
+
+def test_mix_speedups_beat_baseline_on_high_pressure(config):
+    speedups = mix_speedups("mix-high", config, scheme_keys=["silc"],
+                            misses_per_core=800)
+    assert speedups["silc"] > 1.0
+
+
+def test_all_predefined_mixes_runnable(config):
+    for name in MIXES:
+        result = run_mix("cam", name, config, misses_per_core=300)
+        assert result.elapsed_cycles > 0

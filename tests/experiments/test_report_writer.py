@@ -1,0 +1,39 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.report_writer import write_experiments_report
+from repro.sim.config import default_config
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return dataclasses.replace(default_config(scale=0.25), cores=2)
+
+
+def test_report_contains_all_sections(tmp_path, small_config):
+    path = tmp_path / "EXPERIMENTS.md"
+    text = write_experiments_report(
+        path, config=small_config, misses_per_core=400, fig9_misses=300,
+        fig9_workloads=["mcf"])
+    assert path.exists()
+    for heading in ("Fig. 7", "Fig. 6", "Fig. 8", "EDP", "Fig. 9"):
+        assert heading in text
+    # every benchmark appears in the Fig. 7 table
+    for name in ("mcf", "xalancbmk", "lbm"):
+        assert name in text
+    # markdown tables render
+    assert "| workload |" in text
+    assert "geomean" in text
+
+
+def test_report_mentions_paper_reference_points(tmp_path, small_config):
+    path = tmp_path / "r.md"
+    text = write_experiments_report(
+        path, config=small_config, misses_per_core=300, fig9_misses=200,
+        fig9_workloads=["mcf"])
+    assert "1.36" in text          # Fig. 7 headline
+    assert "0.76" in text          # Fig. 8 SILC share
+    assert "1.82" in text or "1.83" in text

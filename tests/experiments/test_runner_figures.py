@@ -1,0 +1,91 @@
+"""Tests for the experiment runner and figure functions (small scale)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG6_STAGES,
+    FIG7_SCHEMES,
+    fig8_bandwidth_split,
+    fig9_capacity_sweep,
+    table3_measured,
+)
+from repro.experiments.runner import SCHEMES, SuiteRunner, run_one
+from repro.sim.config import default_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(default_config(scale=0.5), cores=4)
+
+
+def test_scheme_registry_covers_paper():
+    for key in ("nonm", "rand", "hma", "cam", "camp", "pom", "silc"):
+        assert key in SCHEMES
+    for stage in FIG6_STAGES:
+        assert stage in SCHEMES
+    assert set(FIG7_SCHEMES) <= set(SCHEMES)
+
+
+def test_fig6_stage_configs_are_cumulative():
+    """Each Fig. 6 stage must enable a superset of the previous one."""
+    import repro.core.silcfm as silcfm
+    from repro.xmem.address import AddressSpace
+
+    cfg = default_config()
+    space = AddressSpace(cfg.nm_bytes, cfg.fm_bytes)
+    swap = SCHEMES["silc-swap"].factory(space, cfg)
+    lock = SCHEMES["silc-lock"].factory(space, cfg)
+    assoc = SCHEMES["silc-assoc"].factory(space, cfg)
+    full = SCHEMES["silc"].factory(space, cfg)
+    assert not swap.config.enable_locking and swap.assoc == 1
+    assert lock.config.enable_locking and lock.assoc == 1
+    assert assoc.config.enable_locking and assoc.assoc == 4
+    assert full.config.enable_locking and full.assoc == 4
+    assert not swap.config.enable_bypass
+    assert not assoc.config.enable_bypass
+    assert full.config.enable_bypass
+
+
+def test_static_scheme_alloc_policies():
+    assert SCHEMES["nonm"].alloc_policy == "fm_only"
+    assert SCHEMES["rand"].alloc_policy == "random"
+    assert SCHEMES["alloy"].alloc_policy == "fm_only"
+
+
+def test_run_one_respects_seed(config):
+    a = run_one("cam", "lbm", config, misses_per_core=400, seed=9)
+    b = run_one("cam", "lbm", config, misses_per_core=400, seed=9)
+    assert a.elapsed_cycles == b.elapsed_cycles
+
+
+def test_suite_runner_grid_shape(config):
+    runner = SuiteRunner(config, misses_per_core=300)
+    grid = runner.grid(["cam", "silc"], ["lbm", "mcf"])
+    assert set(grid) == {"cam", "silc"}
+    assert set(grid["cam"]) == {"lbm", "mcf"}
+    assert all(v > 0 for row in grid.values() for v in row.values())
+
+
+def test_fig8_function(config):
+    shares = fig8_bandwidth_split(config, misses_per_core=300,
+                                  workloads=["lbm"])
+    assert set(shares) == set(FIG7_SCHEMES)
+    assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+
+def test_fig9_function(config):
+    sweep = fig9_capacity_sweep(config, misses_per_core=300,
+                                ratios=[8, 4], schemes=["silc"],
+                                workloads=["mcf"])
+    assert set(sweep["silc"]) == {8, 4}
+    assert all(v > 0 for v in sweep["silc"].values())
+
+
+def test_table3_function(config):
+    rows = table3_measured(config, misses_per_core=200)
+    assert len(rows) == 14
+    for name, row in rows.items():
+        assert row["measured_mpki"] > 0
+        assert row["target_mpki"] > 0

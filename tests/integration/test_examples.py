@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Run as subprocesses at a tiny scale (REPRO_SCALE=0.25) so the whole set
+stays fast; the assertions check each example produced its headline
+output, not specific numbers.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+SMALL_ENV = dict(os.environ, REPRO_SCALE="0.25")
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, env=SMALL_ENV,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "mcf", "400")
+    assert "speedup" in out
+    assert "SILC-FM" in out
+
+
+def test_scheme_shootout():
+    out = run_example("scheme_shootout.py", "400")
+    assert "Geometric-mean speedup" in out
+    assert "SILC-FM vs best other" in out
+
+
+def test_capacity_planning():
+    out = run_example("capacity_planning.py", "gcc", "400")
+    assert "1:16" in out and "1:4" in out
+    assert "access rate" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "Key-value store" in out
+    assert "SILC-FM" in out
+
+
+def test_consolidation_mix():
+    out = run_example("consolidation_mix.py", "mix-blend", "300")
+    assert "Speedup over no-NM baseline" in out
+    assert "per-core progress" in out
+
+
+def test_anatomy():
+    out = run_example("anatomy.py", "gcc", "400")
+    assert "frame state" in out
+    assert "Congruence-set occupancy" in out
+
+
+def test_examples_reject_bad_arguments():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "quake"],
+        capture_output=True, text=True, timeout=60, env=SMALL_ENV,
+    )
+    assert result.returncode != 0
+    assert "unknown benchmark" in result.stderr

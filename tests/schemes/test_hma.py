@@ -1,0 +1,131 @@
+"""Tests for the epoch-based HMA scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes.base import Level
+from repro.schemes.hma import EPOCH_BASE_OS_CYCLES, PER_PAGE_OS_CYCLES, HmaScheme
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES
+from repro.xmem.address import AddressSpace
+
+NM = 4 * BLOCK_BYTES
+FM = 16 * BLOCK_BYTES
+
+
+def make_scheme(threshold=3):
+    return HmaScheme(AddressSpace(NM, FM), hot_threshold=threshold)
+
+
+def test_no_migration_between_epochs():
+    scheme = make_scheme(threshold=1)
+    addr = NM + 3 * BLOCK_BYTES
+    for _ in range(50):
+        assert scheme.access(addr, False).serviced_from is Level.FM
+    assert scheme.stats.block_migrations == 0
+
+
+def test_epoch_migrates_hot_pages_into_nm():
+    scheme = make_scheme(threshold=3)
+    hot = NM + 5 * BLOCK_BYTES
+    for _ in range(10):
+        scheme.access(hot, False)
+    ops, stall = scheme.epoch()
+    assert scheme.stats.block_migrations == 1
+    assert stall == EPOCH_BASE_OS_CYCLES + PER_PAGE_OS_CYCLES
+    # 2 KB each: FM read, NM read, NM write, FM write
+    assert sum(op.size for op in ops) == 4 * BLOCK_BYTES
+    assert scheme.access(hot, False).serviced_from is Level.NM
+
+
+def test_cold_pages_not_migrated():
+    scheme = make_scheme(threshold=5)
+    cold = NM + 2 * BLOCK_BYTES
+    scheme.access(cold, False)
+    __, stall = scheme.epoch()
+    assert scheme.stats.block_migrations == 0
+    assert stall == EPOCH_BASE_OS_CYCLES
+    assert scheme.access(cold, False).serviced_from is Level.FM
+
+
+def test_counters_reset_each_epoch():
+    scheme = make_scheme(threshold=5)
+    addr = NM + 7 * BLOCK_BYTES
+    for _ in range(3):
+        scheme.access(addr, False)
+    scheme.epoch()   # 3 < 5: no migration, counters reset
+    for _ in range(3):
+        scheme.access(addr, False)
+    scheme.epoch()   # still 3 < 5
+    assert scheme.stats.block_migrations == 0
+
+
+def test_placement_is_fully_associative():
+    """More hot pages than any one congruence set could hold still all
+    land in NM (HMA's advantage over direct-mapped CAMEO)."""
+    scheme = make_scheme(threshold=2)
+    frames = NM // BLOCK_BYTES
+    # pick hot FM pages that would all collide in a direct-mapped design
+    hot = [NM + k * frames * BLOCK_BYTES for k in range(frames)]
+    for addr in hot:
+        for _ in range(5):
+            scheme.access(addr, False)
+    scheme.epoch()
+    assert scheme.stats.block_migrations == frames
+    for addr in hot:
+        assert scheme.access(addr, False).serviced_from is Level.NM
+
+
+def test_nm_capacity_respected():
+    scheme = make_scheme(threshold=1)
+    frames = NM // BLOCK_BYTES
+    for k in range(3 * frames):
+        for _ in range(5):
+            scheme.access(NM + k * BLOCK_BYTES, False)
+    scheme.epoch()
+    assert scheme.stats.block_migrations <= frames
+
+
+def test_hottest_pages_win_when_oversubscribed():
+    scheme = make_scheme(threshold=1)
+    frames = NM // BLOCK_BYTES
+    # one page far hotter than the rest
+    hottest = NM + 11 * BLOCK_BYTES
+    for _ in range(100):
+        scheme.access(hottest, False)
+    for k in range(2 * frames):
+        if NM + k * BLOCK_BYTES != hottest:
+            for _ in range(2):
+                scheme.access(NM + k * BLOCK_BYTES, False)
+    scheme.epoch()
+    assert scheme.access(hottest, False).serviced_from is Level.NM
+
+
+def test_epoch_period_exposed():
+    scheme = HmaScheme(AddressSpace(NM, FM), epoch_cycles=123456.0)
+    assert scheme.epoch_period_cycles() == 123456.0
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        HmaScheme(AddressSpace(NM, FM), epoch_cycles=0)
+    with pytest.raises(ValueError):
+        HmaScheme(AddressSpace(NM, FM), hot_threshold=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=NM + FM - 1),
+                      min_size=1, max_size=150),
+       epochs=st.integers(min_value=1, max_value=4))
+def test_locate_remains_a_bijection_across_epochs(addrs, epochs):
+    scheme = make_scheme(threshold=2)
+    chunk = max(1, len(addrs) // epochs)
+    for start in range(0, len(addrs), chunk):
+        for addr in addrs[start:start + chunk]:
+            scheme.access(addr - addr % SUBBLOCK_BYTES, False)
+        scheme.epoch()
+    seen = {}
+    for sb in range(0, NM + FM, SUBBLOCK_BYTES):
+        slot = scheme.locate(sb)
+        assert slot not in seen
+        seen[slot] = sb

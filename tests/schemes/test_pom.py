@@ -1,0 +1,121 @@
+"""Tests for the PoM whole-block migration scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes.base import Level
+from repro.schemes.pom import PomScheme
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES
+from repro.xmem.address import AddressSpace
+
+NM = 4 * BLOCK_BYTES
+FM = 16 * BLOCK_BYTES
+
+
+def make_scheme(threshold=3):
+    return PomScheme(AddressSpace(NM, FM), threshold=threshold)
+
+
+def fm_block_addr(frame, k=0):
+    """Address of the k-th FM block competing for ``frame``."""
+    frames = NM // BLOCK_BYTES
+    return (frame + (k + 1) * frames) * BLOCK_BYTES
+
+
+def test_migration_requires_threshold():
+    scheme = make_scheme(threshold=3)
+    addr = fm_block_addr(0)
+    for _ in range(2):
+        assert scheme.access(addr, False).serviced_from is Level.FM
+    assert scheme.stats.block_migrations == 0
+    scheme.access(addr, False)  # third access crosses the threshold
+    assert scheme.stats.block_migrations == 1
+    assert scheme.access(addr, False).serviced_from is Level.NM
+
+
+def test_migration_moves_whole_2kb_block():
+    scheme = make_scheme(threshold=1)
+    addr = fm_block_addr(1)
+    plan = scheme.access(addr, False)
+    # 4 background ops of BLOCK_BYTES each: FM read, NM read, NM write, FM write
+    assert len(plan.background) == 4
+    assert all(op.size == BLOCK_BYTES for op in plan.background)
+    # + 8 B for the cold remap-cache miss metadata fetch
+    assert plan.total_bytes() == SUBBLOCK_BYTES + 8 + 4 * BLOCK_BYTES
+    # every subblock of the block is now NM-resident
+    for k in range(0, BLOCK_BYTES, SUBBLOCK_BYTES):
+        assert scheme.locate(addr - addr % BLOCK_BYTES + k)[0] is Level.NM
+
+
+def test_displaced_native_block_lands_at_fm_home():
+    scheme = make_scheme(threshold=1)
+    addr = fm_block_addr(2)
+    scheme.access(addr, False)
+    level, offset = scheme.locate(2 * BLOCK_BYTES)  # native NM block 2
+    assert level is Level.FM
+    assert offset == addr - NM - addr % BLOCK_BYTES + (addr % BLOCK_BYTES
+                                                       - addr % BLOCK_BYTES)
+
+
+def test_counter_competition_prevents_pingpong():
+    """Once a block is migrated in, a competitor must out-access it by
+    the threshold before displacing it."""
+    scheme = make_scheme(threshold=4)
+    hot = fm_block_addr(0, k=0)
+    rival = fm_block_addr(0, k=1)
+    for _ in range(8):
+        scheme.access(hot, False)
+    assert scheme.stats.block_migrations == 1
+    for _ in range(8):
+        scheme.access(rival, False)
+    assert scheme.stats.block_migrations == 1  # 8 < 8 (occupant) + 4
+    for _ in range(8):
+        scheme.access(rival, False)
+    assert scheme.stats.block_migrations == 2
+
+
+def test_nm_native_block_serviced_from_nm_initially():
+    scheme = make_scheme()
+    plan = scheme.access(0, False)
+    assert plan.serviced_from is Level.NM
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError):
+        make_scheme(threshold=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=NM + FM - 1),
+                min_size=1, max_size=200))
+def test_locate_remains_a_bijection(addrs):
+    scheme = make_scheme(threshold=2)
+    for addr in addrs:
+        scheme.access(addr - addr % SUBBLOCK_BYTES, False)
+    seen = {}
+    for sb in range(0, NM + FM, SUBBLOCK_BYTES):
+        slot = scheme.locate(sb)
+        assert slot not in seen
+        seen[slot] = sb
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=NM + FM - 1),
+                min_size=1, max_size=200))
+def test_block_contiguity_preserved(addrs):
+    """A 2 KB block's subblocks always live contiguously in one level —
+    PoM never interleaves."""
+    scheme = make_scheme(threshold=2)
+    for addr in addrs:
+        scheme.access(addr - addr % SUBBLOCK_BYTES, False)
+    for block in range((NM + FM) // BLOCK_BYTES):
+        levels = set()
+        offsets = []
+        for k in range(32):
+            level, offset = scheme.locate(block * BLOCK_BYTES + k * SUBBLOCK_BYTES)
+            levels.add(level)
+            offsets.append(offset)
+        assert len(levels) == 1
+        assert offsets == sorted(offsets)
+        assert offsets[-1] - offsets[0] == BLOCK_BYTES - SUBBLOCK_BYTES

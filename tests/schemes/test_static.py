@@ -1,0 +1,73 @@
+"""Tests for static placement (identity) schemes."""
+
+from repro.schemes.base import Level
+from repro.schemes.static import StaticScheme
+from repro.sim.config import BLOCK_BYTES
+from repro.xmem.address import AddressSpace
+
+NM = 8 * BLOCK_BYTES
+FM = 32 * BLOCK_BYTES
+
+
+def make_scheme():
+    return StaticScheme(AddressSpace(NM, FM))
+
+
+def test_nm_address_serviced_from_nm():
+    scheme = make_scheme()
+    plan = scheme.access(100, False)
+    assert plan.serviced_from is Level.NM
+    assert plan.stages[0][0].level is Level.NM
+    assert not plan.background
+
+
+def test_fm_address_serviced_from_fm_with_device_offset():
+    scheme = make_scheme()
+    plan = scheme.access(NM + 200, False)
+    assert plan.serviced_from is Level.FM
+    op = plan.stages[0][0]
+    assert op.level is Level.FM
+    assert op.addr == 192  # 200 aligned down to 64
+
+
+def test_locate_is_identity():
+    scheme = make_scheme()
+    assert scheme.locate(42) == (Level.NM, 42)
+    assert scheme.locate(NM + 42) == (Level.FM, 42)
+
+
+def test_ops_are_64_bytes_aligned():
+    scheme = make_scheme()
+    plan = scheme.access(NM + 777, True)
+    op = plan.stages[0][0]
+    assert op.addr % 64 == 0
+    assert op.size == 64
+
+
+def test_access_rate_tracks_placement():
+    scheme = make_scheme()
+    for i in range(4):
+        scheme.access(i * BLOCK_BYTES, False)        # NM
+    for i in range(12):
+        scheme.access(NM + i * BLOCK_BYTES, False)   # FM
+    assert scheme.stats.misses == 16
+    assert scheme.stats.access_rate == 4 / 16
+
+
+def test_writeback_goes_to_home_location():
+    scheme = make_scheme()
+    plan = scheme.writeback(NM + 100)
+    assert len(plan.background) == 1
+    op = plan.background[0]
+    assert op.level is Level.FM
+    assert op.is_write
+    assert op.addr == 64
+
+
+def test_no_migration_ever():
+    scheme = make_scheme()
+    for _ in range(100):
+        scheme.access(NM + 64, False)
+    assert scheme.stats.subblock_swaps == 0
+    assert scheme.stats.block_migrations == 0
+    assert scheme.locate(NM + 64) == (Level.FM, 64)

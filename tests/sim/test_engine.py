@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_dispatch_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(10, order.append, "late")
+    engine.schedule(5, order.append, "early")
+    engine.schedule(7.5, order.append, "middle")
+    engine.run()
+    assert order == ["early", "middle", "late"]
+    assert engine.now == 10.0
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.schedule(3.0, order.append, tag)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(42.0, seen.append, "x")
+    engine.run()
+    assert engine.now == 42.0
+    assert seen == ["x"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            engine.schedule(1, chain, depth + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_run_until_horizon_leaves_future_events_queued():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, seen.append, "a")
+    engine.schedule(15, seen.append, "b")
+    engine.run(until=10)
+    assert seen == ["a"]
+    assert engine.now == 10
+    assert engine.pending == 1
+    engine.run()
+    assert seen == ["a", "b"]
+
+
+def test_max_events_watchdog_trips():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    with pytest.raises(SimulationError, match="livelock"):
+        engine.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+    engine.schedule(1, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_zero_delay_runs_at_current_time():
+    engine = Engine()
+    times = []
+    engine.schedule(5, lambda: engine.schedule(0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [5.0]
+
+
+def test_events_dispatched_counter():
+    engine = Engine()
+    for _ in range(7):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_dispatched == 7

@@ -1,0 +1,130 @@
+"""Tests for statistics collectors and ASCII reporting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.collectors import Histogram, RunningStat, geometric_mean
+from repro.stats.report import bar_chart, format_table, grouped_series
+
+
+# ----------------------------------------------------------------------
+# geometric mean
+# ----------------------------------------------------------------------
+def test_geometric_mean_basics():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    assert geometric_mean([5]) == pytest.approx(5.0)
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -2.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                max_size=30))
+def test_geometric_mean_bounded_by_min_max(values):
+    g = geometric_mean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# running stat
+# ----------------------------------------------------------------------
+def test_running_stat_mean_variance():
+    stat = RunningStat()
+    for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        stat.add(v)
+    assert stat.mean == pytest.approx(5.0)
+    assert stat.stddev == pytest.approx(math.sqrt(32 / 7))
+    assert stat.minimum == 2.0
+    assert stat.maximum == 9.0
+
+
+def test_running_stat_empty():
+    stat = RunningStat()
+    assert stat.mean == 0.0
+    assert stat.variance == 0.0
+
+
+@settings(deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                max_size=100))
+def test_running_stat_matches_numpy(values):
+    import numpy as np
+
+    stat = RunningStat()
+    for v in values:
+        stat.add(v)
+    # tolerances account for catastrophic cancellation at 1e6 magnitudes
+    assert stat.mean == pytest.approx(float(np.mean(values)), rel=1e-9,
+                                      abs=1e-3)
+    assert stat.variance == pytest.approx(float(np.var(values, ddof=1)),
+                                          rel=1e-4, abs=1e-2)
+
+
+# ----------------------------------------------------------------------
+# histogram
+# ----------------------------------------------------------------------
+def test_histogram_percentiles():
+    hist = Histogram(bucket_width=10)
+    for v in range(100):
+        hist.add(v)
+    assert hist.percentile(50) == pytest.approx(50.0)
+    assert hist.percentile(100) == pytest.approx(100.0)
+
+
+def test_histogram_clamps_to_max_bucket():
+    hist = Histogram(bucket_width=1, max_buckets=4)
+    hist.add(1000)
+    assert hist.percentile(100) == 4.0
+
+
+def test_histogram_rejects_bad_values():
+    hist = Histogram(bucket_width=1)
+    with pytest.raises(ValueError):
+        hist.add(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        Histogram(bucket_width=0)
+
+
+def test_histogram_empty_percentile():
+    assert Histogram(1.0).percentile(50) == 0.0
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["bbbb", 20.25]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.500" in text and "20.250" in text
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 10  # b is the peak
+    assert lines[0].count("#") == 5
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}, title="empty") == "empty"
+
+
+def test_grouped_series_missing_cells():
+    text = grouped_series({"s1": {"x": 1.0}, "s2": {"y": 2.0}})
+    assert "-" in text
+    assert "s1" in text and "s2" in text
+    assert "x" in text and "y" in text

@@ -1,0 +1,71 @@
+"""Tests for the scheme/run inspectors."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.silcfm import SilcFmScheme
+from repro.experiments.runner import SCHEMES, run_one
+from repro.sim.config import SilcFmConfig, default_config
+from repro.stats.inspect import (
+    describe_run,
+    describe_silcfm,
+    set_occupancy_histogram,
+)
+from repro.xmem.address import AddressSpace
+
+NM = 16 * 2048
+FM = 64 * 2048
+
+
+@pytest.fixture
+def scheme():
+    s = SilcFmScheme(AddressSpace(NM, FM), SilcFmConfig(
+        associativity=4, enable_bypass=False, bitvector_table_entries=64,
+        metadata_cache_entries=8, access_rate_window=32))
+    for i in range(200):
+        addr = (NM + (i * 3 % 60) * 2048 + (i % 32) * 64) % (NM + FM)
+        s.access(addr - addr % 64, False, pc=(1 << 40) + (i % 7) * 4)
+    return s
+
+
+def test_describe_silcfm_renders(scheme):
+    text = describe_silcfm(scheme)
+    assert "frames" in text
+    assert "interleaved" in text
+    assert "predictor way accuracy" in text
+    assert str(len(scheme.frames)) in text
+
+
+def test_frame_categories_partition(scheme):
+    text = describe_silcfm(scheme)
+    # counts parsed back out must sum to the frame count
+    values = {}
+    for line in text.splitlines()[2:]:
+        parts = line.split("  ")
+        parts = [p.strip() for p in parts if p.strip()]
+        if len(parts) == 2:
+            values[parts[0]] = parts[1]
+    total = (int(values["clean (native only)"])
+             + int(values["interleaved (two blocks)"])
+             + int(values["fully remapped"])
+             + int(values["locked (fm owner)"])
+             + int(values["locked (nm owner)"]))
+    assert total == len(scheme.frames)
+
+
+def test_set_occupancy_histogram(scheme):
+    histogram = set_occupancy_histogram(scheme)
+    assert set(histogram) == {0, 1, 2, 3, 4}
+    assert sum(histogram.values()) == scheme.num_sets
+    assert sum(k * v for k, v in histogram.items()) == \
+        sum(1 for f in scheme.frames if f.remap is not None)
+
+
+def test_describe_run_renders():
+    config = dataclasses.replace(default_config(scale=0.25), cores=2)
+    result = run_one("silc", "lbm", config, misses_per_core=400)
+    text = describe_run(result)
+    assert "NM access rate" in text
+    assert "lbm" in text
+    assert "EDP" in text

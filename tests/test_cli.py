@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import dataclasses
+
+import pytest
+
+import repro.__main__ as cli
+from repro.sim.config import default_config
+from repro.workloads.io import trace_length
+
+
+def test_schemes_listing(capsys):
+    assert cli.main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "silc" in out and "cameo" in out.lower()
+
+
+def test_suite_listing(capsys):
+    assert cli.main(["suite"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mcf", "xalancbmk", "lbm"):
+        assert name in out
+
+
+def test_trace_generation(tmp_path, capsys):
+    path = tmp_path / "t.trc"
+    assert cli.main(["trace", "lbm", str(path), "--misses", "500"]) == 0
+    assert trace_length(path) == 500
+
+
+def test_run_command(capsys, monkeypatch):
+    # shrink the system so the CLI test stays fast
+    small = dataclasses.replace(default_config(scale=0.25), cores=2)
+    monkeypatch.setattr(cli, "_config", lambda scale: small)
+    assert cli.main(["run", "silc", "mcf", "--misses", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "NM access rate" in out
+    assert "EDP" in out
+
+
+def test_compare_command(capsys, monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=2)
+    monkeypatch.setattr(cli, "_config", lambda scale: small)
+    assert cli.main(["compare", "mcf", "--schemes", "cam", "silc",
+                     "--misses", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "Speedup" in out
+    assert "#" in out  # the bar chart rendered
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "bogus", "mcf"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["frobnicate"])

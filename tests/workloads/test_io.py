@@ -1,0 +1,74 @@
+"""Tests for trace save/load."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.io import TraceFormatError, load_trace, save_trace, trace_length
+from repro.workloads.model import WorkloadModel, WorkloadSpec
+from repro.workloads.trace import MemoryAccess, materialize
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "t.trc"
+    records = [
+        MemoryAccess(pc=1 << 40, vaddr=64 * i, is_write=i % 2 == 0,
+                     gap_instr=i + 1)
+        for i in range(100)
+    ]
+    assert save_trace(path, records) == 100
+    assert trace_length(path) == 100
+    assert list(load_trace(path)) == records
+
+
+def test_generated_trace_roundtrip(tmp_path):
+    path = tmp_path / "gen.trc"
+    model = WorkloadModel(WorkloadSpec("t", mpki=20, footprint_pages=50), seed=3)
+    original = materialize(model.miss_stream(500), 500)
+    save_trace(path, original)
+    assert list(load_trace(path)) == original
+
+
+def test_empty_trace(tmp_path):
+    path = tmp_path / "empty.trc"
+    assert save_trace(path, []) == 0
+    assert list(load_trace(path)) == []
+    assert trace_length(path) == 0
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.trc"
+    path.write_bytes(b"NOTATRACE" + b"\x00" * 16)
+    with pytest.raises(TraceFormatError, match="magic"):
+        list(load_trace(path))
+
+
+def test_truncated_body_rejected(tmp_path):
+    path = tmp_path / "trunc.trc"
+    save_trace(path, [MemoryAccess(1, 2, False, 3)] * 4)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        list(load_trace(path))
+
+
+def test_truncated_header_rejected(tmp_path):
+    path = tmp_path / "short.trc"
+    path.write_bytes(b"SILC")
+    with pytest.raises(TraceFormatError):
+        trace_length(path)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2 ** 63 - 1),
+              st.integers(min_value=0, max_value=2 ** 63 - 1),
+              st.booleans(),
+              st.integers(min_value=0, max_value=2 ** 31 - 1)),
+    max_size=50))
+def test_roundtrip_property(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("traces") / "p.trc"
+    trace = [MemoryAccess(pc=p, vaddr=v, is_write=w, gap_instr=g)
+             for p, v, w, g in records]
+    save_trace(path, trace)
+    assert list(load_trace(path)) == trace

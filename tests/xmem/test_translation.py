@@ -1,0 +1,153 @@
+"""Tests for frame allocation policies and page tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import BLOCK_BYTES
+from repro.xmem.address import AddressSpace
+from repro.xmem.translation import FrameAllocator, OutOfMemoryError, PageTable
+
+NM_BLOCKS = 16
+FM_BLOCKS = 64
+
+
+def make_space():
+    return AddressSpace(NM_BLOCKS * BLOCK_BYTES, FM_BLOCKS * BLOCK_BYTES)
+
+
+def test_fm_only_never_allocates_nm():
+    allocator = FrameAllocator(make_space(), policy="fm_only")
+    frames = [allocator.allocate() for _ in range(FM_BLOCKS)]
+    assert all(f >= NM_BLOCKS for f in frames)
+    with pytest.raises(OutOfMemoryError):
+        allocator.allocate()
+
+
+def test_nm_first_fills_nm_then_fm():
+    allocator = FrameAllocator(make_space(), policy="nm_first")
+    first = [allocator.allocate() for _ in range(NM_BLOCKS)]
+    assert first == list(range(NM_BLOCKS))
+    assert allocator.allocate() == NM_BLOCKS
+
+
+def test_random_policy_is_seeded_and_complete():
+    a = FrameAllocator(make_space(), policy="random", seed=7)
+    b = FrameAllocator(make_space(), policy="random", seed=7)
+    frames_a = [a.allocate() for _ in range(NM_BLOCKS + FM_BLOCKS)]
+    frames_b = [b.allocate() for _ in range(NM_BLOCKS + FM_BLOCKS)]
+    assert frames_a == frames_b
+    assert sorted(frames_a) == list(range(NM_BLOCKS + FM_BLOCKS))
+
+
+def test_random_policy_differs_across_seeds():
+    a = FrameAllocator(make_space(), policy="random", seed=1)
+    b = FrameAllocator(make_space(), policy="random", seed=2)
+    assert [a.allocate() for _ in range(20)] != [b.allocate() for _ in range(20)]
+
+
+def test_interleaved_mixes_nm_proportionally():
+    allocator = FrameAllocator(make_space(), policy="interleaved")
+    frames = [allocator.allocate() for _ in range(10)]
+    nm_count = sum(1 for f in frames if f < NM_BLOCKS)
+    # ratio is 4:1 so roughly one in five early frames is NM
+    assert 1 <= nm_count <= 3
+
+
+def test_interleaved_exhausts_all_frames():
+    allocator = FrameAllocator(make_space(), policy="interleaved")
+    frames = [allocator.allocate() for _ in range(NM_BLOCKS + FM_BLOCKS)]
+    assert sorted(frames) == list(range(NM_BLOCKS + FM_BLOCKS))
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        FrameAllocator(make_space(), policy="chaotic")
+
+
+# ----------------------------------------------------------------------
+# page table
+# ----------------------------------------------------------------------
+def test_translation_is_stable():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    a = table.translate(12345)
+    assert table.translate(12345) == a
+    assert table.translate(12345 + 1) == a + 1
+
+
+def test_offsets_preserved():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    paddr = table.translate(5 * BLOCK_BYTES + 99)
+    assert paddr % BLOCK_BYTES == 99
+
+
+def test_distinct_vpages_get_distinct_frames():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    frames = {table.translate(v * BLOCK_BYTES) // BLOCK_BYTES for v in range(10)}
+    assert len(frames) == 10
+
+
+def test_processes_never_share_frames():
+    allocator = FrameAllocator(make_space(), policy="interleaved")
+    t1, t2 = PageTable(allocator, asid=0), PageTable(allocator, asid=1)
+    f1 = {t1.translate(v * BLOCK_BYTES) // BLOCK_BYTES for v in range(8)}
+    f2 = {t2.translate(v * BLOCK_BYTES) // BLOCK_BYTES for v in range(8)}
+    assert not f1 & f2
+
+
+def test_remap_moves_page():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    table.translate(0)
+    old = table.frame_of(0)
+    new_frame = 0  # an NM frame, unused by fm_only
+    returned = table.remap(0, new_frame)
+    assert returned == old
+    assert table.frame_of(0) == new_frame
+    assert table.vpage_of(new_frame) == 0
+    assert table.translate(17) == new_frame * BLOCK_BYTES + 17
+
+
+def test_remap_to_occupied_frame_rejected():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    table.translate(0)
+    table.translate(BLOCK_BYTES)
+    with pytest.raises(ValueError):
+        table.remap(0, table.frame_of(1))
+
+
+def test_remap_unmapped_page_rejected():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    with pytest.raises(KeyError):
+        table.remap(42, 0)
+
+
+def test_swap_frames_exchanges_two_pages():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    table.translate(0)
+    table.translate(BLOCK_BYTES)
+    fa, fb = table.frame_of(0), table.frame_of(1)
+    table.swap_frames(0, 1)
+    assert table.frame_of(0) == fb
+    assert table.frame_of(1) == fa
+
+
+def test_footprint_accounting():
+    table = PageTable(FrameAllocator(make_space(), policy="fm_only"))
+    for v in range(6):
+        table.translate(v * BLOCK_BYTES)
+    assert table.resident_pages == 6
+    assert table.footprint_bytes() == 6 * BLOCK_BYTES
+
+
+@settings(max_examples=25)
+@given(vaddrs=st.lists(st.integers(min_value=0, max_value=50 * BLOCK_BYTES - 1),
+                       min_size=1, max_size=60))
+def test_translation_injective_over_pages(vaddrs):
+    """Distinct virtual pages always land in distinct physical frames."""
+    table = PageTable(FrameAllocator(make_space(), policy="interleaved"))
+    mapping = {}
+    for vaddr in vaddrs:
+        paddr = table.translate(vaddr)
+        vpage, ppage = vaddr // BLOCK_BYTES, paddr // BLOCK_BYTES
+        assert mapping.setdefault(vpage, ppage) == ppage
+    assert len(set(mapping.values())) == len(mapping)
