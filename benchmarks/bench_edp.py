@@ -21,6 +21,7 @@ EDP_SCHEMES = ["rand", "hma", "cam", "camp", "pom", "silc"]
 
 def test_edp_comparison(benchmark, runner):
     def compute():
+        runner.prefetch(EDP_SCHEMES, BENCHMARKS)
         out = {}
         for scheme in EDP_SCHEMES:
             ratios = []

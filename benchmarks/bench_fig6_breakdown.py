@@ -27,6 +27,7 @@ LABELS = dict(FIG6_LABELS, rand="Random")
 
 def test_fig6_feature_breakdown(benchmark, runner):
     def compute():
+        runner.prefetch(STAGES, BENCHMARKS)
         table = {}
         for stage in STAGES:
             per_wl = {wl: runner.speedup(stage, wl) for wl in BENCHMARKS}

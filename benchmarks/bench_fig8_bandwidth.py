@@ -24,6 +24,7 @@ def test_fig8_bandwidth_split(benchmark, runner):
     def compute():
         # the paper counts demand *requests* serviced from NM vs FM
         # (migrations excluded); that is the access rate
+        runner.prefetch(FIG8, BENCHMARKS, include_baseline=False)
         shares = {}
         for scheme in FIG8:
             values = [runner.result(scheme, wl).access_rate

@@ -29,12 +29,14 @@ WORKLOADS = ["xalancbmk", "cactusADM", "gcc", "gemsFDTD", "mcf", "milc"]
 MISSES = int(os.environ.get("REPRO_BENCH_MISSES", "6000")) // 2
 
 
-def test_fig9_capacity_sweep(benchmark, config):
+def test_fig9_capacity_sweep(benchmark, config, executor):
     def compute():
         out = {s: {} for s in SWEEP_SCHEMES}
         for ratio in RATIOS:
             runner = SuiteRunner(config.with_ratio(ratio),
-                                 misses_per_core=MISSES)
+                                 misses_per_core=MISSES,
+                                 executor=executor)
+            runner.prefetch(SWEEP_SCHEMES, WORKLOADS)
             for scheme in SWEEP_SCHEMES:
                 speedups = [runner.speedup(scheme, wl) for wl in WORKLOADS]
                 out[scheme][f"1/{ratio}"] = geometric_mean(speedups)

@@ -10,8 +10,7 @@ import pytest
 
 from conftest import run_once
 
-from repro.cpu.system import System
-from repro.experiments.runner import SCHEMES
+from repro.experiments.executor import Cell
 from repro.stats.report import format_table
 from repro.workloads.spec import BENCHMARKS, per_core_spec
 
@@ -19,16 +18,19 @@ from repro.workloads.spec import BENCHMARKS, per_core_spec
 MISSES = 1200
 
 
-def test_table3_measured_mpki(benchmark, config):
+def test_table3_measured_mpki(benchmark, config, executor):
     def compute():
         rows = {}
         l2_bytes = config.caches.l2.size_bytes
+        cells = {
+            name: Cell("nonm", name, config, misses_per_core=MISSES,
+                       mode="reference", warmup_fraction=0.0)
+            for name in BENCHMARKS
+        }
+        executor.run_cells(cells.values())
         for name in BENCHMARKS:
             spec = per_core_spec(name, config)
-            system = System(config, SCHEMES["nonm"].factory, spec,
-                            misses_per_core=MISSES,
-                            alloc_policy="fm_only", mode="reference")
-            result = system.run()
+            result = executor.run_cell(cells[name])
             instructions = result.total_instructions
             misses = sum(c.misses_issued for c in result.core_stats)
             hot_bytes = int(spec.hot_fraction * spec.footprint_pages * 2048)

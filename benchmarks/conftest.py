@@ -5,21 +5,33 @@ the (scheme x workload) simulations are run once and reused — Fig. 6,
 Fig. 7, Fig. 8 and the EDP bench all draw from the same grid, exactly
 like the paper's single simulation campaign.
 
+All simulations go through one shared :class:`ExperimentExecutor`, so
+the benches fan out over worker processes and resume from the on-disk
+result cache.
+
 Knobs (environment variables):
 
 * ``REPRO_BENCH_MISSES`` — LLC misses per core per run (default 6000;
   raise for tighter numbers, lower for a smoke run).
 * ``REPRO_SCALE`` — memory-capacity scale factor (see repro.sim.config).
+* ``REPRO_BENCH_JOBS`` — worker processes (default: all CPUs).
+* ``REPRO_BENCH_CACHE`` — result-cache directory (default
+  ``results/cache``; set empty to disable persistence).
+* ``REPRO_BENCH_FORCE=1`` — ignore and overwrite existing cache entries.
 """
 
 import os
 
 import pytest
 
+from repro.experiments.executor import DEFAULT_CACHE_DIR, ExperimentExecutor
 from repro.experiments.runner import SuiteRunner
 from repro.sim.config import default_config
 
 MISSES_PER_CORE = int(os.environ.get("REPRO_BENCH_MISSES", "6000"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", DEFAULT_CACHE_DIR) or None
+FORCE = os.environ.get("REPRO_BENCH_FORCE", "") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -28,9 +40,16 @@ def config():
 
 
 @pytest.fixture(scope="session")
-def runner(config):
+def executor():
+    """One worker pool + result cache shared by every bench."""
+    return ExperimentExecutor(jobs=JOBS, cache_dir=CACHE_DIR, force=FORCE)
+
+
+@pytest.fixture(scope="session")
+def runner(config, executor):
     """The shared (scheme x workload) result grid."""
-    return SuiteRunner(config, misses_per_core=MISSES_PER_CORE)
+    return SuiteRunner(config, misses_per_core=MISSES_PER_CORE,
+                       executor=executor)
 
 
 @pytest.fixture(scope="session")

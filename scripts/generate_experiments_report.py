@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md from a fresh simulation grid.
 
-Usage: python scripts/generate_experiments_report.py [misses_per_core]
+Usage: python scripts/generate_experiments_report.py [misses_per_core] [jobs]
+
+Cells fan out over ``jobs`` worker processes (default: all CPUs) and
+are memoised in ``results/cache``, so an interrupted regeneration
+resumes where it stopped.
 """
 
+import os
 import sys
 from pathlib import Path
 
-from repro.experiments.report_writer import write_experiments_report
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.report_writer import print_progress, write_experiments_report
 
 
 def main() -> None:
     misses = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
-    target = Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else (os.cpu_count() or 1)
+    root = Path(__file__).resolve().parents[1]
+    target = root / "EXPERIMENTS.md"
+    executor = ExperimentExecutor(jobs=jobs,
+                                  cache_dir=str(root / "results" / "cache"),
+                                  on_progress=print_progress)
     write_experiments_report(target, misses_per_core=misses,
-                             fig9_misses=max(1500, misses // 2))
+                             fig9_misses=max(1500, misses // 2),
+                             executor=executor)
     print(f"wrote {target}")
 
 

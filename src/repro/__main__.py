@@ -5,30 +5,60 @@ Commands
 
 ``run``      simulate one (scheme, benchmark) pair and print its report
 ``compare``  several schemes on one benchmark, speedups over the baseline
+``figure``   regenerate one paper figure (parallel, resumable)
 ``schemes``  list the registered schemes
 ``suite``    list the Table III benchmarks and their parameters
 ``trace``    generate a workload trace file for external tools
 ``report``   regenerate EXPERIMENTS.md (the full evaluation grid)
 
+``compare``, ``figure`` and ``report`` fan their (scheme x workload)
+cells out over ``--jobs N`` worker processes and memoise each cell in an
+on-disk result cache (``--cache-dir``, default ``results/cache``), so an
+interrupted sweep resumes where it stopped; ``--force`` re-simulates,
+``--no-cache`` disables persistence.
+
 Examples::
 
     python -m repro run silc mcf --misses 5000
-    python -m repro compare mcf --schemes cam pom silc
+    python -m repro compare mcf --schemes cam pom silc --jobs 4
+    python -m repro figure fig7 --jobs 8 --misses 6000
     python -m repro trace lbm /tmp/lbm.trc --misses 20000
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    Cell,
+    ExperimentExecutor,
+    Progress,
+)
 from repro.experiments.runner import SCHEMES, run_one
 from repro.sim.config import default_config
 from repro.stats.report import bar_chart, format_table
 from repro.workloads.io import save_trace
 from repro.workloads.model import WorkloadModel
 from repro.workloads.spec import BENCHMARKS, per_core_spec
+
+
+def _add_executor_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all CPUs)")
+    sub_parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache (default {DEFAULT_CACHE_DIR})")
+    sub_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache")
+    sub_parser.add_argument(
+        "--force", action="store_true",
+        help="ignore and overwrite existing cache entries")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--misses", type=int, default=5000)
     cmp_p.add_argument("--seed", type=int, default=None)
     cmp_p.add_argument("--scale", type=float, default=None)
+    _add_executor_flags(cmp_p)
+
+    fig_p = sub.add_parser(
+        "figure", help="regenerate one paper figure (parallel, resumable)")
+    fig_p.add_argument("name",
+                       choices=["fig6", "fig7", "fig8", "fig9", "edp"])
+    fig_p.add_argument("--misses", type=int, default=5000,
+                       help="LLC misses per core per cell (default 5000)")
+    fig_p.add_argument("--scale", type=float, default=None)
+    fig_p.add_argument("--workloads", nargs="+", default=None,
+                       choices=BENCHMARKS,
+                       help="subset of the Table III suite (default: all)")
+    _add_executor_flags(fig_p)
 
     sub.add_parser("schemes", help="list registered schemes")
     sub.add_parser("suite", help="list the Table III benchmark presets")
@@ -68,11 +111,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate EXPERIMENTS.md (runs the full grid)")
     report_p.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     report_p.add_argument("--misses", type=int, default=5000)
+    _add_executor_flags(report_p)
     return parser
 
 
 def _config(scale: Optional[float]):
     return default_config() if scale is None else default_config(scale=scale)
+
+
+def _print_progress(progress: Progress) -> None:
+    end = "\n" if progress.completed == progress.total else "\r"
+    print(f"  {progress.render()}", end=end, file=sys.stderr, flush=True)
+
+
+def _executor(args) -> ExperimentExecutor:
+    """Build the executor the command-line flags describe."""
+    return ExperimentExecutor(
+        jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+        on_progress=_print_progress,
+    )
+
+
+def _report_failures(executor: ExperimentExecutor) -> int:
+    """Print collected worker tracebacks; returns the failure count."""
+    for failure in executor.failures:
+        print(f"\nFAILED cell ({failure.cell.scheme_key}, "
+              f"{failure.cell.workload_name}):\n{failure.error}",
+              file=sys.stderr)
+    return len(executor.failures)
 
 
 def _cmd_run(args) -> int:
@@ -96,17 +164,62 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     config = _config(args.scale)
-    baseline = run_one("nonm", args.benchmark, config,
-                       misses_per_core=args.misses, seed=args.seed)
-    speedups = {}
-    for key in args.schemes:
-        result = run_one(key, args.benchmark, config,
-                         misses_per_core=args.misses, seed=args.seed)
-        speedups[SCHEMES[key].label] = result.speedup_over(baseline)
-        print(f"ran {SCHEMES[key].label}", file=sys.stderr)
+    executor = _executor(args)
+    cells = {
+        key: Cell(key, args.benchmark, config, misses_per_core=args.misses,
+                  seed=args.seed)
+        for key in ["nonm"] + [k for k in args.schemes if k != "nonm"]
+    }
+    results = executor.run_cells(cells.values())
+    if _report_failures(executor):
+        return 1
+    baseline = results[cells["nonm"]]
+    speedups = {
+        SCHEMES[key].label: results[cells[key]].speedup_over(baseline)
+        for key in args.schemes
+    }
     print(bar_chart(speedups, title=f"Speedup over no-NM baseline "
                                     f"({args.benchmark})", unit="x"))
     return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    config = _config(args.scale)
+    executor = _executor(args)
+    entry = {
+        "fig6": figures.fig6_breakdown,
+        "fig7": figures.fig7_comparison,
+        "fig8": figures.fig8_bandwidth_split,
+        "fig9": figures.fig9_capacity_sweep,
+        "edp": figures.edp_comparison,
+    }[args.name]
+    try:
+        table = entry(config=config, misses_per_core=args.misses,
+                      workloads=args.workloads, executor=executor)
+    finally:
+        failed = _report_failures(executor)
+    if args.name in ("fig6", "fig7"):
+        rows = [[scheme] + [f"{v:.3f}" for v in per_wl.values()]
+                for scheme, per_wl in table.items()]
+        headers = ["scheme"] + list(next(iter(table.values())))
+        print(format_table(headers, rows, title=f"{args.name} (speedup)"))
+    elif args.name == "fig9":
+        ratios = sorted({r for per in table.values() for r in per}, reverse=True)
+        rows = [[scheme] + [f"{per[r]:.3f}" for r in ratios]
+                for scheme, per in table.items()]
+        print(format_table(["scheme"] + [f"NM=1/{r}" for r in ratios], rows,
+                           title="fig9 (geomean speedup)"))
+    else:
+        unit = "" if args.name == "fig8" else "x"
+        print(bar_chart({SCHEMES[s].label: v for s, v in table.items()},
+                        title=args.name, unit=unit))
+    progress = executor.last_progress
+    if progress is not None:
+        print(f"[{progress.render()}; "
+              f"{progress.simulated} simulated]", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_schemes(_args) -> int:
@@ -135,10 +248,15 @@ def _cmd_suite(_args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report_writer import write_experiments_report
 
-    write_experiments_report(args.path, misses_per_core=args.misses,
-                             fig9_misses=max(1500, args.misses // 2))
+    executor = _executor(args)
+    try:
+        write_experiments_report(args.path, misses_per_core=args.misses,
+                                 fig9_misses=max(1500, args.misses // 2),
+                                 executor=executor)
+    finally:
+        failed = _report_failures(executor)
     print(f"wrote {args.path}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_trace(args) -> int:
@@ -155,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "figure": _cmd_figure,
         "schemes": _cmd_schemes,
         "suite": _cmd_suite,
         "trace": _cmd_trace,

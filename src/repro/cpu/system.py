@@ -75,6 +75,45 @@ class RunResult:
             raise ValueError("run did not execute")
         return baseline.elapsed_cycles / self.elapsed_cycles
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (the experiment executor's on-disk result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """A JSON-serialisable dict that :meth:`from_dict` inverts exactly
+        (every stats field is an int/float, which ``json`` round-trips
+        bit-identically)."""
+        import dataclasses
+
+        return {
+            "scheme_name": self.scheme_name,
+            "workload_name": self.workload_name,
+            "elapsed_cycles": self.elapsed_cycles,
+            "core_stats": [dataclasses.asdict(c) for c in self.core_stats],
+            "scheme_stats": dataclasses.asdict(self.scheme_stats),
+            "controller_stats": dataclasses.asdict(self.controller_stats),
+            "nm_stats": dataclasses.asdict(self.nm_stats),
+            "fm_stats": dataclasses.asdict(self.fm_stats),
+            "energy": dataclasses.asdict(self.energy),
+            "edp": self.edp,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        return cls(
+            scheme_name=data["scheme_name"],
+            workload_name=data["workload_name"],
+            elapsed_cycles=data["elapsed_cycles"],
+            core_stats=[CoreStats(**c) for c in data["core_stats"]],
+            scheme_stats=SchemeStats(**data["scheme_stats"]),
+            controller_stats=ControllerStats(**data["controller_stats"]),
+            nm_stats=ChannelStats(**data["nm_stats"]),
+            fm_stats=ChannelStats(**data["fm_stats"]),
+            energy=EnergyBreakdown(**data["energy"]),
+            edp=data["edp"],
+            extras=dict(data["extras"]),
+        )
+
 
 class System:
     """One complete simulated machine."""
@@ -125,9 +164,11 @@ class System:
         if len(specs) != config.cores:
             raise ValueError("need one workload spec per core")
         self.cores: List[Core] = []
+        self.page_tables: List[PageTable] = []
         self._finished = 0
         for core_id, spec in enumerate(specs):
             table = PageTable(allocator, asid=core_id)
+            self.page_tables.append(table)
             model = WorkloadModel(spec, seed=seed * 1000 + core_id)
             if mode == "miss":
                 trace = model.miss_stream(misses_per_core)
@@ -210,5 +251,7 @@ class System:
             extras={
                 "nm_utilization": self.nm_device.utilization(elapsed),
                 "fm_utilization": self.fm_device.utilization(elapsed),
+                "page_reclaims": float(
+                    sum(t.reclaims for t in self.page_tables)),
             },
         )

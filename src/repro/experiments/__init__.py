@@ -1,6 +1,14 @@
 """Experiment harness: scheme registry, suite runner, and one function
 per paper table/figure."""
 
+from repro.experiments.executor import (
+    Cell,
+    CellFailure,
+    ExecutorError,
+    ExperimentExecutor,
+    Progress,
+    ResultCache,
+)
 from repro.experiments.figures import (
     FIG6_LABELS,
     FIG6_STAGES,
@@ -22,6 +30,12 @@ from repro.experiments.sweeps import (
 )
 
 __all__ = [
+    "Cell",
+    "CellFailure",
+    "ExecutorError",
+    "ExperimentExecutor",
+    "Progress",
+    "ResultCache",
     "FIG6_LABELS",
     "FIG6_STAGES",
     "FIG7_SCHEMES",

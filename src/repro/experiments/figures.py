@@ -4,14 +4,20 @@ DESIGN.md maps each to its benchmark file).
 Each function returns plain data structures (dicts of floats) so the
 benches can both print the paper-style table and assert shape
 properties; nothing here depends on pytest.
+
+Every function accepts an optional :class:`ExperimentExecutor` (or the
+``jobs``/``cache_dir``/``force`` knobs to build one) and submits its
+whole (scheme x workload) grid as a single batch, so figures
+parallelise over worker processes and resume from the on-disk result
+cache.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.cpu.system import RunResult
-from repro.experiments.runner import SCHEMES, SuiteRunner, run_one
+from repro.experiments.executor import Cell, ExperimentExecutor
+from repro.experiments.runner import SuiteRunner
 from repro.sim.config import SystemConfig, default_config
 from repro.stats.collectors import geometric_mean
 from repro.workloads.spec import BENCHMARKS
@@ -29,18 +35,34 @@ FIG6_LABELS = {
 FIG7_SCHEMES = ["rand", "hma", "cam", "camp", "pom", "silc"]
 
 
+def _executor(executor: Optional[ExperimentExecutor], jobs: Optional[int],
+              cache_dir: Optional[str], force: bool) -> ExperimentExecutor:
+    """The figure functions' executor: the caller's, or a private serial
+    one (so plain ``fig7_comparison()`` stays dependency-free)."""
+    if executor is not None:
+        return executor
+    return ExperimentExecutor(jobs=jobs or 1, cache_dir=cache_dir, force=force)
+
+
 def fig6_breakdown(config: Optional[SystemConfig] = None,
                    misses_per_core: int = 12_000,
-                   workloads: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+                   workloads: Optional[List[str]] = None,
+                   executor: Optional[ExperimentExecutor] = None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None,
+                   force: bool = False) -> Dict[str, Dict[str, float]]:
     """Fig. 6: cumulative feature breakdown.
 
     Returns {stage -> {workload -> speedup over no-NM baseline}}, plus a
     'rand' row as the stack's floor and a 'geomean' entry per stage.
     """
-    runner = SuiteRunner(config or default_config(), misses_per_core)
+    runner = SuiteRunner(config or default_config(), misses_per_core,
+                         executor=_executor(executor, jobs, cache_dir, force))
     workloads = workloads or BENCHMARKS
+    stages = ["rand"] + FIG6_STAGES
+    runner.prefetch(stages, workloads)
     out: Dict[str, Dict[str, float]] = {}
-    for stage in ["rand"] + FIG6_STAGES:
+    for stage in stages:
         per_wl = {wl: runner.speedup(stage, wl) for wl in workloads}
         per_wl["geomean"] = geometric_mean(per_wl.values())
         out[stage] = per_wl
@@ -49,13 +71,19 @@ def fig6_breakdown(config: Optional[SystemConfig] = None,
 
 def fig7_comparison(config: Optional[SystemConfig] = None,
                     misses_per_core: int = 12_000,
-                    workloads: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+                    workloads: Optional[List[str]] = None,
+                    executor: Optional[ExperimentExecutor] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[str] = None,
+                    force: bool = False) -> Dict[str, Dict[str, float]]:
     """Fig. 7: speedups of all schemes over the no-NM baseline.
 
     Returns {scheme -> {workload -> speedup, 'geomean' -> g}}.
     """
-    runner = SuiteRunner(config or default_config(), misses_per_core)
+    runner = SuiteRunner(config or default_config(), misses_per_core,
+                         executor=_executor(executor, jobs, cache_dir, force))
     workloads = workloads or BENCHMARKS
+    runner.prefetch(FIG7_SCHEMES, workloads)
     out: Dict[str, Dict[str, float]] = {}
     for scheme in FIG7_SCHEMES:
         per_wl = {wl: runner.speedup(scheme, wl) for wl in workloads}
@@ -66,12 +94,18 @@ def fig7_comparison(config: Optional[SystemConfig] = None,
 
 def fig8_bandwidth_split(config: Optional[SystemConfig] = None,
                          misses_per_core: int = 12_000,
-                         workloads: Optional[List[str]] = None) -> Dict[str, float]:
+                         workloads: Optional[List[str]] = None,
+                         executor: Optional[ExperimentExecutor] = None,
+                         jobs: Optional[int] = None,
+                         cache_dir: Optional[str] = None,
+                         force: bool = False) -> Dict[str, float]:
     """Fig. 8: mean fraction of *demand* bandwidth served by NM, per
     scheme (migration traffic excluded, as in the paper).  Ideal = 0.8.
     """
-    runner = SuiteRunner(config or default_config(), misses_per_core)
+    runner = SuiteRunner(config or default_config(), misses_per_core,
+                         executor=_executor(executor, jobs, cache_dir, force))
     workloads = workloads or BENCHMARKS
+    runner.prefetch(FIG7_SCHEMES, workloads, include_baseline=False)
     out: Dict[str, float] = {}
     for scheme in FIG7_SCHEMES:
         fractions = [
@@ -85,7 +119,11 @@ def fig9_capacity_sweep(config: Optional[SystemConfig] = None,
                         misses_per_core: int = 12_000,
                         ratios: Optional[List[int]] = None,
                         schemes: Optional[List[str]] = None,
-                        workloads: Optional[List[str]] = None) -> Dict[str, Dict[int, float]]:
+                        workloads: Optional[List[str]] = None,
+                        executor: Optional[ExperimentExecutor] = None,
+                        jobs: Optional[int] = None,
+                        cache_dir: Optional[str] = None,
+                        force: bool = False) -> Dict[str, Dict[int, float]]:
     """Fig. 9: geomean speedup vs FM:NM capacity ratio (16, 8, 4).
 
     Returns {scheme -> {ratio -> geomean speedup}}.
@@ -94,9 +132,21 @@ def fig9_capacity_sweep(config: Optional[SystemConfig] = None,
     ratios = ratios or [16, 8, 4]
     schemes = schemes or FIG7_SCHEMES
     workloads = workloads or BENCHMARKS
+    executor = _executor(executor, jobs, cache_dir, force)
+    # one runner per capacity point, all feeding the same executor so
+    # the entire ratio x scheme x workload cube shares one worker pool
+    runners = {
+        ratio: SuiteRunner(config.with_ratio(ratio), misses_per_core,
+                           executor=executor)
+        for ratio in ratios
+    }
+    cells = []
+    for runner in runners.values():
+        for scheme in list(schemes) + ["nonm"]:
+            cells.extend(runner._cell(scheme, wl) for wl in workloads)
+    executor.run_cells(cells)
     out: Dict[str, Dict[int, float]] = {s: {} for s in schemes}
-    for ratio in ratios:
-        runner = SuiteRunner(config.with_ratio(ratio), misses_per_core)
+    for ratio, runner in runners.items():
         for scheme in schemes:
             speedups = [runner.speedup(scheme, wl) for wl in workloads]
             out[scheme][ratio] = geometric_mean(speedups)
@@ -105,12 +155,18 @@ def fig9_capacity_sweep(config: Optional[SystemConfig] = None,
 
 def edp_comparison(config: Optional[SystemConfig] = None,
                    misses_per_core: int = 12_000,
-                   workloads: Optional[List[str]] = None) -> Dict[str, float]:
+                   workloads: Optional[List[str]] = None,
+                   executor: Optional[ExperimentExecutor] = None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None,
+                   force: bool = False) -> Dict[str, float]:
     """Section V energy result: geomean EDP normalised to the no-NM
     baseline, per scheme (lower is better; the paper reports SILC-FM at
     ~13% below the best state-of-the-art scheme)."""
-    runner = SuiteRunner(config or default_config(), misses_per_core)
+    runner = SuiteRunner(config or default_config(), misses_per_core,
+                         executor=_executor(executor, jobs, cache_dir, force))
     workloads = workloads or BENCHMARKS
+    runner.prefetch(FIG7_SCHEMES, workloads)
     out: Dict[str, float] = {}
     for scheme in FIG7_SCHEMES:
         ratios = []
@@ -122,22 +178,28 @@ def edp_comparison(config: Optional[SystemConfig] = None,
 
 
 def table3_measured(config: Optional[SystemConfig] = None,
-                    misses_per_core: int = 2_000) -> Dict[str, Dict[str, float]]:
+                    misses_per_core: int = 2_000,
+                    executor: Optional[ExperimentExecutor] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[str] = None,
+                    force: bool = False) -> Dict[str, Dict[str, float]]:
     """Table III check: run each benchmark's *reference* stream through
     the real cache hierarchy and report measured LLC MPKI + footprint.
     """
-    from repro.cpu.system import System
     from repro.workloads.spec import per_core_spec
 
     config = config or default_config()
+    executor = _executor(executor, jobs, cache_dir, force)
+    cells = {
+        name: Cell("nonm", name, config, misses_per_core=misses_per_core,
+                   mode="reference", warmup_fraction=0.0)
+        for name in BENCHMARKS
+    }
+    executor.run_cells(cells.values())
     out: Dict[str, Dict[str, float]] = {}
     for name in BENCHMARKS:
         spec = per_core_spec(name, config)
-        system = System(
-            config, SCHEMES["nonm"].factory, spec, misses_per_core,
-            alloc_policy="fm_only", mode="reference",
-        )
-        result = system.run()
+        result = executor.run_cell(cells[name])
         instructions = result.total_instructions
         misses = sum(c.misses_issued for c in result.core_stats)
         out[name] = {

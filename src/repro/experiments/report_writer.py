@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.experiments.executor import ExperimentExecutor, Progress
 from repro.experiments.figures import FIG6_LABELS, FIG6_STAGES, FIG7_SCHEMES
 from repro.experiments.runner import SCHEMES, SuiteRunner
 from repro.sim.config import SystemConfig, default_config
@@ -50,13 +51,28 @@ def write_experiments_report(path: Union[str, Path],
                              config: Optional[SystemConfig] = None,
                              misses_per_core: int = 8_000,
                              fig9_misses: Optional[int] = None,
-                             fig9_workloads: Optional[List[str]] = None) -> str:
+                             fig9_workloads: Optional[List[str]] = None,
+                             executor: Optional[ExperimentExecutor] = None,
+                             jobs: Optional[int] = None,
+                             cache_dir: Optional[str] = None,
+                             force: bool = False) -> str:
     """Run the evaluation grid and write the markdown report.
 
-    Returns the rendered text (also written to ``path``).
+    Returns the rendered text (also written to ``path``).  With ``jobs``
+    (or a caller-built ``executor``) the full grid fans out over worker
+    processes; with ``cache_dir`` completed cells are memoised on disk
+    so an interrupted report resumes where it stopped.
     """
     config = config or default_config()
-    runner = runner or SuiteRunner(config, misses_per_core=misses_per_core)
+    if runner is None:
+        executor = executor or ExperimentExecutor(
+            jobs=jobs or 1, cache_dir=cache_dir, force=force)
+        runner = SuiteRunner(config, misses_per_core=misses_per_core,
+                             executor=executor)
+    # fan the whole main grid out in one batch before any section reads
+    # individual results (the sections then assemble from the memo)
+    main_schemes = list(dict.fromkeys(FIG7_SCHEMES + FIG6_STAGES + ["rand"]))
+    runner.prefetch(main_schemes, BENCHMARKS)
     sections: List[str] = []
 
     sections.append(
@@ -143,7 +159,9 @@ def write_experiments_report(path: Union[str, Path],
     sweep: Dict[str, Dict[int, float]] = {s: {} for s in fig9_schemes}
     for ratio in (16, 8, 4):
         sub_runner = SuiteRunner(config.with_ratio(ratio),
-                                 misses_per_core=fig9_misses)
+                                 misses_per_core=fig9_misses,
+                                 executor=runner.executor)
+        sub_runner.prefetch(fig9_schemes, fig9_workloads)
         for scheme in fig9_schemes:
             sweep[scheme][ratio] = geometric_mean(
                 [sub_runner.speedup(scheme, wl) for wl in fig9_workloads])
@@ -186,11 +204,28 @@ def write_experiments_report(path: Union[str, Path],
     return text
 
 
-def main() -> None:
-    """Write EXPERIMENTS.md in the repository root."""
+def print_progress(progress: Progress) -> None:
+    """Default ``on_progress`` hook: a live one-line ticker on stderr."""
+    import sys
+
+    end = "\n" if progress.completed == progress.total else "\r"
+    print(f"  {progress.render()}", end=end, file=sys.stderr, flush=True)
+
+
+def main(jobs: Optional[int] = None,
+         cache_dir: Optional[str] = None) -> None:
+    """Write EXPERIMENTS.md in the repository root (parallel across all
+    cores by default, resuming from ``results/cache``)."""
+    import os
+
     root = Path(__file__).resolve().parents[3]
     while not (root / "pyproject.toml").exists() and root != root.parent:
         root = root.parent
     target = root / "EXPERIMENTS.md"
-    write_experiments_report(target)
+    executor = ExperimentExecutor(
+        jobs=jobs if jobs is not None else (os.cpu_count() or 1),
+        cache_dir=cache_dir if cache_dir is not None
+        else str(root / "results" / "cache"),
+        on_progress=print_progress)
+    write_experiments_report(target, executor=executor)
     print(f"wrote {target}")

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.silcfm import SilcFmScheme
 from repro.cpu.system import RunResult, System
+from repro.experiments.executor import Cell, ExperimentExecutor
 from repro.schemes.base import MemoryScheme
 from repro.schemes.alloycache import AlloyCacheScheme
 from repro.schemes.cameo import CameoPrefetchScheme, CameoScheme
@@ -124,21 +125,57 @@ def run_one(scheme_key: str, workload_name: str, config: SystemConfig,
 
 
 class SuiteRunner:
-    """Runs (scheme x workload) grids, memoising the shared baseline."""
+    """Runs (scheme x workload) grids through the experiment executor.
+
+    Every simulation is submitted as an executor :class:`Cell`, so the
+    grid inherits the executor's parallelism (``jobs``) and on-disk
+    result cache for free; without an explicit executor it falls back to
+    a private in-process one (``jobs=1``, no persistence) and behaves
+    exactly like the old serial runner.  Use :meth:`prefetch` to fan a
+    whole grid out before reading individual results.
+    """
 
     def __init__(self, config: SystemConfig, misses_per_core: int = 20_000,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 executor: Optional[ExperimentExecutor] = None) -> None:
         self.config = config
         self.misses_per_core = misses_per_core
         self.seed = seed
+        self.executor = executor or ExperimentExecutor(jobs=1)
         self._cache: Dict[Tuple[str, str], RunResult] = {}
+
+    def _cell(self, scheme_key: str, workload_name: str) -> Cell:
+        if scheme_key not in SCHEMES:
+            raise KeyError(
+                f"unknown scheme {scheme_key!r}; have {sorted(SCHEMES)}")
+        return Cell(
+            scheme_key=scheme_key,
+            workload_name=workload_name,
+            config=self.config,
+            misses_per_core=self.misses_per_core,
+            seed=self.seed,
+        )
+
+    def prefetch(self, scheme_keys: Iterable[str],
+                 workload_names: Optional[List[str]] = None,
+                 include_baseline: bool = True) -> None:
+        """Submit the whole (scheme x workload) grid in one executor
+        batch so cells run in parallel; subsequent :meth:`result` /
+        :meth:`speedup` calls are memo lookups.  The ``nonm`` baseline
+        every speedup normalises against rides along by default."""
+        workload_names = workload_names or BENCHMARKS
+        keys = list(scheme_keys)
+        if include_baseline and "nonm" not in keys:
+            keys.append("nonm")
+        cells = [self._cell(s, wl) for s in keys for wl in workload_names]
+        for cell, result in self.executor.run_cells(cells).items():
+            self._cache[(cell.scheme_key, cell.workload_name)] = result
 
     def result(self, scheme_key: str, workload_name: str) -> RunResult:
         key = (scheme_key, workload_name)
         if key not in self._cache:
-            self._cache[key] = run_one(
-                scheme_key, workload_name, self.config,
-                misses_per_core=self.misses_per_core, seed=self.seed)
+            self._cache[key] = self.executor.run_cell(
+                self._cell(scheme_key, workload_name))
         return self._cache[key]
 
     def speedup(self, scheme_key: str, workload_name: str) -> float:
@@ -150,6 +187,8 @@ class SuiteRunner:
              workload_names: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
         """{scheme -> {workload -> speedup-over-baseline}}."""
         workload_names = workload_names or BENCHMARKS
+        scheme_keys = list(scheme_keys)
+        self.prefetch(scheme_keys, workload_names)
         return {
             key: {name: self.speedup(key, name) for name in workload_names}
             for key in scheme_keys

@@ -6,6 +6,11 @@ SILC-FM parameter or system knob.
 knobs expressed as config transformers.  Both normalise against a shared
 no-NM baseline, so the output is directly plottable as a sensitivity
 curve (the ablation benches are thin wrappers over these).
+
+Each sweep point is an independent executor :class:`Cell` — a varied
+``SystemConfig`` under a registered scheme key — so the whole curve is
+submitted as one batch and inherits the executor's parallel workers and
+on-disk result cache.
 """
 
 from __future__ import annotations
@@ -13,17 +18,21 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.silcfm import SilcFmScheme
-from repro.cpu.system import RunResult, System
-from repro.experiments.runner import run_one
+from repro.experiments.executor import Cell, ExperimentExecutor
 from repro.sim.config import SystemConfig
-from repro.workloads.spec import per_core_spec
+
+
+def _executor(executor: Optional[ExperimentExecutor],
+              jobs: Optional[int]) -> ExperimentExecutor:
+    return executor or ExperimentExecutor(jobs=jobs or 1)
 
 
 def sweep_silcfm(field: str, values: Sequence, workload: str,
                  config: SystemConfig, misses_per_core: int = 4_000,
                  seed: Optional[int] = None,
-                 warmup_fraction: float = 0.2) -> Dict[str, float]:
+                 warmup_fraction: float = 0.2,
+                 executor: Optional[ExperimentExecutor] = None,
+                 jobs: Optional[int] = None) -> Dict[str, float]:
     """Speedup over the no-NM baseline for each value of one
     ``SilcFmConfig`` field.
 
@@ -32,41 +41,52 @@ def sweep_silcfm(field: str, values: Sequence, workload: str,
     """
     if field not in {f.name for f in dataclasses.fields(config.silcfm)}:
         raise KeyError(f"SilcFmConfig has no field {field!r}")
-    baseline = run_one("nonm", workload, config,
-                       misses_per_core=misses_per_core, seed=seed)
-    results: Dict[str, float] = {}
-    for value in values:
-        def factory(space, cfg, value=value):
-            return SilcFmScheme(
-                space, dataclasses.replace(cfg.silcfm, **{field: value}))
-
-        system = System(config, factory, per_core_spec(workload, config),
-                        misses_per_core=misses_per_core,
-                        alloc_policy="interleaved", seed=seed,
-                        warmup_fraction=warmup_fraction)
-        results[str(value)] = system.run().speedup_over(baseline)
-    return results
+    executor = _executor(executor, jobs)
+    baseline_cell = Cell("nonm", workload, config,
+                         misses_per_core=misses_per_core, seed=seed,
+                         warmup_fraction=warmup_fraction)
+    point_cells = {
+        str(value): Cell("silc", workload,
+                         config.with_silcfm(**{field: value}),
+                         misses_per_core=misses_per_core, seed=seed,
+                         warmup_fraction=warmup_fraction)
+        for value in values
+    }
+    executor.run_cells([baseline_cell] + list(point_cells.values()))
+    baseline = executor.run_cell(baseline_cell)
+    return {
+        label: executor.run_cell(cell).speedup_over(baseline)
+        for label, cell in point_cells.items()
+    }
 
 
 def sweep_system(transform: Callable[[SystemConfig, object], SystemConfig],
                  values: Sequence, scheme_key: str, workload: str,
                  config: SystemConfig, misses_per_core: int = 4_000,
-                 seed: Optional[int] = None) -> Dict[str, float]:
+                 seed: Optional[int] = None,
+                 executor: Optional[ExperimentExecutor] = None,
+                 jobs: Optional[int] = None) -> Dict[str, float]:
     """Speedup curve over system-level variations.
 
     ``transform(config, value)`` produces the varied configuration; each
     point is normalised to its *own* no-NM baseline (so capacity sweeps
     compare like with like).
     """
-    results: Dict[str, float] = {}
+    executor = _executor(executor, jobs)
+    pairs = {}
     for value in values:
         varied = transform(config, value)
-        baseline = run_one("nonm", workload, varied,
-                           misses_per_core=misses_per_core, seed=seed)
-        run = run_one(scheme_key, workload, varied,
-                      misses_per_core=misses_per_core, seed=seed)
-        results[str(value)] = run.speedup_over(baseline)
-    return results
+        pairs[str(value)] = (
+            Cell("nonm", workload, varied,
+                 misses_per_core=misses_per_core, seed=seed),
+            Cell(scheme_key, workload, varied,
+                 misses_per_core=misses_per_core, seed=seed),
+        )
+    executor.run_cells([c for pair in pairs.values() for c in pair])
+    return {
+        label: executor.run_cell(run).speedup_over(executor.run_cell(base))
+        for label, (base, run) in pairs.items()
+    }
 
 
 def capacity_transform(config: SystemConfig, ratio: int) -> SystemConfig:

@@ -46,6 +46,7 @@ class FrameAllocator:
         self.policy = policy
         self._free = self._build_order(policy, seed)
         self._next = 0
+        self._released: List[int] = []
 
     def _build_order(self, policy: str, seed: int) -> List[int]:
         nm = list(range(self.space.nm_blocks))
@@ -78,7 +79,13 @@ class FrameAllocator:
         return frames
 
     def allocate(self) -> int:
-        """Return the next free frame number."""
+        """Return the next free frame number.
+
+        Released frames are reused (LIFO) before fresh ones so page-table
+        reclaim can run indefinitely on a full machine.
+        """
+        if self._released:
+            return self._released.pop()
         if self._next >= len(self._free):
             raise OutOfMemoryError(
                 f"out of physical frames after {self._next} allocations"
@@ -87,9 +94,13 @@ class FrameAllocator:
         self._next += 1
         return frame
 
+    def release(self, frame: int) -> None:
+        """Return ``frame`` to the allocator (page-table eviction)."""
+        self._released.append(frame)
+
     @property
     def frames_allocated(self) -> int:
-        return self._next
+        return self._next - len(self._released)
 
     @property
     def frames_total(self) -> int:
@@ -104,19 +115,42 @@ class PageTable:
         self.asid = asid
         self._vpage_to_frame: Dict[int, int] = {}
         self._frame_to_vpage: Dict[int, int] = {}
+        #: pages evicted to satisfy an allocation on a full machine
+        self.reclaims = 0
 
     # ------------------------------------------------------------------
     def translate(self, vaddr: int) -> int:
-        """Translate a virtual address, allocating a frame on first touch."""
+        """Translate a virtual address, allocating a frame on first touch.
+
+        When physical memory is exhausted the table reclaims its own
+        oldest mapping (FIFO, modelling OS page reclaim) instead of
+        letting :class:`OutOfMemoryError` escape mid-run; a process with
+        no pages of its own to reclaim still raises.
+        """
         if vaddr < 0:
             raise ValueError("negative virtual address")
         vpage, offset = divmod(vaddr, BLOCK_BYTES)
         frame = self._vpage_to_frame.get(vpage)
         if frame is None:
-            frame = self._allocator.allocate()
+            try:
+                frame = self._allocator.allocate()
+            except OutOfMemoryError:
+                frame = self._reclaim_oldest()
             self._vpage_to_frame[vpage] = frame
             self._frame_to_vpage[frame] = vpage
         return frame * BLOCK_BYTES + offset
+
+    def _reclaim_oldest(self) -> int:
+        if not self._vpage_to_frame:
+            raise OutOfMemoryError(
+                f"out of physical frames and asid {self.asid} has no pages"
+                " to reclaim"
+            )
+        victim = next(iter(self._vpage_to_frame))
+        frame = self._vpage_to_frame.pop(victim)
+        del self._frame_to_vpage[frame]
+        self.reclaims += 1
+        return frame
 
     def frame_of(self, vpage: int) -> Optional[int]:
         return self._vpage_to_frame.get(vpage)

@@ -109,3 +109,102 @@ def test_events_dispatched_counter():
         engine.schedule(1, lambda: None)
     engine.run()
     assert engine.events_dispatched == 7
+
+
+# ---------------------------------------------------------------------------
+# edge cases: horizon ties, watchdog, reentrancy, stepping after drain
+# ---------------------------------------------------------------------------
+
+def test_until_horizon_dispatches_ties_exactly_at_horizon():
+    """Events timestamped exactly at ``until`` are *inside* the horizon
+    and must all fire, in insertion order; later events stay queued."""
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, "at-horizon-1")
+    engine.schedule(10, seen.append, "at-horizon-2")
+    engine.schedule(10.0000001, seen.append, "beyond")
+    engine.run(until=10)
+    assert seen == ["at-horizon-1", "at-horizon-2"]
+    assert engine.now == 10
+    assert engine.pending == 1
+
+
+def test_until_horizon_with_no_events_beyond_leaves_clock_at_horizon():
+    engine = Engine()
+    seen = []
+    engine.schedule(3, seen.append, "a")
+    engine.schedule(7, lambda: engine.schedule(5, seen.append, "spawned"))
+    engine.run(until=8)
+    # the event spawned at t=12 is past the horizon and stays queued
+    assert seen == ["a"]
+    assert engine.now == 8
+    assert engine.pending == 1
+    engine.run()
+    assert seen == ["a", "spawned"]
+    assert engine.now == 12
+
+
+def test_max_events_watchdog_fires_at_exact_boundary():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1, lambda: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=3)
+    # the watchdog must release the reentrancy latch so the engine can
+    # drain the remainder afterwards
+    engine.run()
+    assert engine.events_dispatched == 5
+    assert engine.pending == 0
+
+
+def test_max_events_equal_to_queue_size_does_not_trip_early():
+    engine = Engine()
+    fired = []
+    for tag in range(4):
+        engine.schedule(1, fired.append, tag)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_run_is_not_reentrant():
+    engine = Engine()
+    errors = []
+
+    def nested():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    engine.schedule(1, nested)
+    engine.run()
+    assert len(errors) == 1
+    assert "reentrant" in errors[0]
+
+
+def test_step_after_drain_returns_false_then_accepts_new_work():
+    engine = Engine()
+    engine.schedule(2, lambda: None)
+    engine.run()
+    # drained: stepping is a no-op, repeatedly
+    assert engine.step() is False
+    assert engine.step() is False
+    assert engine.now == 2.0
+    # the engine is still live: new events schedule and step normally
+    seen = []
+    engine.schedule(5, seen.append, "late")
+    assert engine.step() is True
+    assert seen == ["late"]
+    assert engine.now == 7.0
+    assert engine.step() is False
+
+
+def test_step_interleaves_with_run():
+    engine = Engine()
+    order = []
+    for tag in ("a", "b", "c"):
+        engine.schedule(1, order.append, tag)
+    assert engine.step() is True
+    engine.run()
+    assert order == ["a", "b", "c"]

@@ -151,3 +151,112 @@ def test_translation_injective_over_pages(vaddrs):
         vpage, ppage = vaddr // BLOCK_BYTES, paddr // BLOCK_BYTES
         assert mapping.setdefault(vpage, ppage) == ppage
     assert len(set(mapping.values())) == len(mapping)
+
+
+# ----------------------------------------------------------------------
+# graceful exhaustion (regression for the config-fuzz OutOfMemoryError)
+# ----------------------------------------------------------------------
+def test_release_returns_frame_for_reuse():
+    allocator = FrameAllocator(make_space(), policy="fm_only")
+    first = allocator.allocate()
+    before = allocator.frames_allocated
+    allocator.release(first)
+    assert allocator.frames_allocated == before - 1
+    assert allocator.allocate() == first
+
+
+def test_page_table_reclaims_oldest_when_memory_is_full():
+    """Touching more distinct pages than there are physical frames must
+    reclaim (FIFO) instead of raising mid-run."""
+    total = NM_BLOCKS + FM_BLOCKS
+    table = PageTable(FrameAllocator(make_space(), policy="interleaved"))
+    for v in range(total + 10):
+        table.translate(v * BLOCK_BYTES)
+    assert table.reclaims == 10
+    assert table.resident_pages == total
+    # the ten oldest pages were evicted; the newest are still mapped
+    assert table.frame_of(0) is None
+    assert table.frame_of(9) is None
+    assert table.frame_of(total + 9) is not None
+    # a re-touch of an evicted page faults it back in (evicting another)
+    paddr = table.translate(0)
+    assert paddr // BLOCK_BYTES == table.frame_of(0)
+    assert table.reclaims == 11
+
+
+def test_reclaimed_translation_stays_injective():
+    total = NM_BLOCKS + FM_BLOCKS
+    table = PageTable(FrameAllocator(make_space(), policy="interleaved"))
+    for v in range(2 * total):
+        table.translate(v * BLOCK_BYTES)
+    frames = [table.frame_of(v) for v in table.mapped_pages()]
+    assert len(frames) == len(set(frames)) == total
+
+
+def test_empty_table_on_full_machine_still_raises():
+    allocator = FrameAllocator(make_space(), policy="fm_only")
+    hog, latecomer = PageTable(allocator, asid=0), PageTable(allocator, asid=1)
+    for v in range(FM_BLOCKS):
+        hog.translate(v * BLOCK_BYTES)
+    with pytest.raises(OutOfMemoryError):
+        latecomer.translate(0)
+
+
+def test_fuzz_falsifying_config_runs_to_completion():
+    """The exact Hypothesis counterexample from the seed suite: 2 cores
+    with 25-page footprints on a 16-NM + 32-FM-frame machine (50 pages
+    wanted, 48 frames exist) raised OutOfMemoryError mid-run."""
+    from repro.core.silcfm import SilcFmScheme
+    from repro.cpu.system import System
+    from repro.sim.config import SilcFmConfig, SystemConfig
+    from repro.workloads.model import WorkloadSpec
+
+    config = SystemConfig(
+        cores=2,
+        nm_bytes=16 * BLOCK_BYTES,
+        fm_bytes=32 * BLOCK_BYTES,
+        silcfm=SilcFmConfig(
+            associativity=1,
+            hot_threshold=2,
+            aging_period_accesses=100,
+            bitvector_table_entries=64,
+            predictor_entries=64,
+            metadata_cache_entries=1,
+            access_rate_window=32,
+            enable_locking=False,
+            enable_bypass=False,
+            enable_predictor=False,
+            enable_bitvector_history=False,
+        ),
+    )
+    spec = WorkloadSpec(
+        name="fuzz", mpki=2.0, footprint_pages=25, hot_fraction=1.0,
+        hot_weight=0.0, spatial_run=1.0, write_fraction=0.0,
+        page_density=1.0, phase_misses=None,
+    )
+    system = System(config, lambda space, cfg: SilcFmScheme(space, cfg.silcfm),
+                    spec, misses_per_core=150, alloc_policy="interleaved",
+                    seed=1)
+    result = system.run(max_events=2_000_000)
+    assert result.elapsed_cycles > 0
+    assert result.scheme_stats.misses == 150 * config.cores
+    # oversubscription is absorbed by FIFO page reclaim, not a crash
+    assert result.extras["page_reclaims"] > 0
+    total_resident = sum(t.resident_pages for t in system.page_tables)
+    assert total_resident <= 48
+
+
+def test_no_reclaims_when_memory_suffices():
+    from repro.core.silcfm import SilcFmScheme
+    from repro.cpu.system import System
+    from repro.sim.config import SystemConfig
+    from repro.workloads.model import WorkloadSpec
+
+    config = SystemConfig(cores=2, nm_bytes=16 * BLOCK_BYTES,
+                          fm_bytes=64 * BLOCK_BYTES)
+    spec = WorkloadSpec(name="small", mpki=10.0, footprint_pages=10)
+    system = System(config, lambda space, cfg: SilcFmScheme(space, cfg.silcfm),
+                    spec, misses_per_core=50, alloc_policy="interleaved",
+                    seed=1)
+    result = system.run(max_events=1_000_000)
+    assert result.extras["page_reclaims"] == 0.0
