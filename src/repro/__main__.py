@@ -28,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional
@@ -40,6 +41,7 @@ from repro.experiments.executor import (
 )
 from repro.experiments.runner import SCHEMES, run_one
 from repro.sim.config import default_config
+from repro.validate import DEFAULT_CHECK_EVERY
 from repro.stats.report import bar_chart, format_table
 from repro.workloads.io import save_trace
 from repro.workloads.model import WorkloadModel
@@ -61,6 +63,18 @@ def _add_executor_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="ignore and overwrite existing cache entries")
 
 
+def _add_check_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--check", action="store_true",
+        help="attach the shadow-memory differential oracle (repro.validate)"
+             " to every simulation; the run fails on the first metadata or"
+             " bijection violation")
+    sub_parser.add_argument(
+        "--check-every", type=int, default=None, metavar="N",
+        help="full bijection scan every N misses (implies --check; "
+             f"default {DEFAULT_CHECK_EVERY})")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--scale", type=float, default=None,
                        help="memory capacity scale factor")
+    _add_check_flags(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a benchmark")
     cmp_p.add_argument("benchmark", choices=BENCHMARKS)
@@ -84,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--misses", type=int, default=5000)
     cmp_p.add_argument("--seed", type=int, default=None)
     cmp_p.add_argument("--scale", type=float, default=None)
+    _add_check_flags(cmp_p)
     _add_executor_flags(cmp_p)
 
     fig_p = sub.add_parser(
@@ -96,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--workloads", nargs="+", default=None,
                        choices=BENCHMARKS,
                        help="subset of the Table III suite (default: all)")
+    _add_check_flags(fig_p)
     _add_executor_flags(fig_p)
 
     sub.add_parser("schemes", help="list registered schemes")
@@ -111,12 +128,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate EXPERIMENTS.md (runs the full grid)")
     report_p.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     report_p.add_argument("--misses", type=int, default=5000)
+    _add_check_flags(report_p)
     _add_executor_flags(report_p)
     return parser
 
 
-def _config(scale: Optional[float]):
-    return default_config() if scale is None else default_config(scale=scale)
+def _with_check(config, args):
+    """Fold the ``--check`` / ``--check-every`` flags into a config."""
+    check_every = getattr(args, "check_every", None)
+    if not getattr(args, "check", False) and check_every is None:
+        return config
+    interval = DEFAULT_CHECK_EVERY if check_every is None else check_every
+    if interval <= 0:
+        raise SystemExit("--check-every must be a positive miss count")
+    return dataclasses.replace(config, check_interval=interval)
+
+
+def _config(scale: Optional[float], args=None):
+    config = default_config() if scale is None else default_config(scale=scale)
+    return config if args is None else _with_check(config, args)
 
 
 def _print_progress(progress: Progress) -> None:
@@ -144,7 +174,7 @@ def _report_failures(executor: ExperimentExecutor) -> int:
 
 
 def _cmd_run(args) -> int:
-    config = _config(args.scale)
+    config = _config(args.scale, args)
     result = run_one(args.scheme, args.benchmark, config,
                      misses_per_core=args.misses, seed=args.seed)
     rows = [
@@ -163,7 +193,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    config = _config(args.scale)
+    config = _config(args.scale, args)
     executor = _executor(args)
     cells = {
         key: Cell(key, args.benchmark, config, misses_per_core=args.misses,
@@ -186,7 +216,7 @@ def _cmd_compare(args) -> int:
 def _cmd_figure(args) -> int:
     from repro.experiments import figures
 
-    config = _config(args.scale)
+    config = _config(args.scale, args)
     executor = _executor(args)
     entry = {
         "fig6": figures.fig6_breakdown,
@@ -250,7 +280,8 @@ def _cmd_report(args) -> int:
 
     executor = _executor(args)
     try:
-        write_experiments_report(args.path, misses_per_core=args.misses,
+        write_experiments_report(args.path, config=_config(None, args),
+                                 misses_per_core=args.misses,
                                  fig9_misses=max(1500, args.misses // 2),
                                  executor=executor)
     finally:

@@ -13,14 +13,18 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.metadata import FULL_BITVEC
+from repro.sim.config import SUBBLOCK_BYTES
 
 
 def history_index(pc: int, first_subblock_addr: int, entries: int) -> int:
     """The paper's index function: PC xor'ed with the address of the
-    first swapped-in subblock, folded into the table size."""
+    first swapped-in subblock, folded into the table size.  The shift
+    is derived from the subblock geometry (64 B -> 6) so a non-default
+    geometry does not silently alias neighbouring subblocks."""
     if entries <= 0 or entries & (entries - 1):
         raise ValueError("table size must be a power of two")
-    return (pc ^ (first_subblock_addr >> 6)) & (entries - 1)
+    shift = SUBBLOCK_BYTES.bit_length() - 1
+    return (pc ^ (first_subblock_addr >> shift)) & (entries - 1)
 
 
 class BitVectorHistoryTable:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.sim.config import BLOCK_BYTES
+
 
 @dataclass(frozen=True)
 class Prediction:
@@ -40,10 +42,14 @@ class WayPredictor:
         self.loc_wrong = 0
 
     def _index(self, pc: int, paddr: int) -> int:
-        # PC xor block-granularity address bits: every subblock of a 2 KB
-        # block shares one entry, since the way/location being predicted
-        # is a property of the block, not the subblock.
-        return (pc ^ (paddr >> 11)) & (self.entries - 1)
+        # PC xor block-granularity address bits: every subblock of a
+        # large block shares one entry, since the way/location being
+        # predicted is a property of the block, not the subblock.  The
+        # shift is derived from the block geometry (2 KB -> 11) so a
+        # non-default geometry does not silently alias neighbouring
+        # blocks into one entry.
+        return (pc ^ (paddr >> (BLOCK_BYTES.bit_length() - 1))) & (
+            self.entries - 1)
 
     # ------------------------------------------------------------------
     def predict(self, pc: int, paddr: int) -> Prediction:

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.activity import ActivityMonitor
 from repro.core.bitvector import BitVectorHistoryTable
 from repro.core.bypass import BandwidthBalancer
-from repro.core.metadata import FULL_BITVEC, FrameMetadata
+from repro.core.metadata import COUNTER_MAX, FULL_BITVEC, FrameMetadata
 from repro.core.predictor import WayPredictor
 from repro.schemes.base import AccessPlan, Level, MemoryScheme, Op
 from repro.sim.config import (
@@ -110,7 +110,12 @@ class SilcFmScheme(MemoryScheme):
         plan = self._apply_latency_model(plan, way, prediction, paddr,
                                          nm_home=nm_home, matched=matched)
         in_fm = plan.serviced_from is Level.FM
-        if self.config.enable_predictor:
+        if self.config.enable_predictor and not plan.bypassed:
+            # A bypassed access says nothing about where the data will
+            # live once balancing ends (the swap was suppressed, not
+            # decided against); training in_fm=True here would keep
+            # steering post-bypass requests at FM and waste speculative
+            # FM reads long after the window closes.
             self.predictor.record_outcome(prediction, way, in_fm)
             self.predictor.update(pc, paddr, way, in_fm)
         if self.config.enable_bypass:
@@ -264,9 +269,16 @@ class SilcFmScheme(MemoryScheme):
         """Row 3: the native subblock returns; the partner's goes home."""
         frame = self.frames[way]
         block = frame.remap
+        footprint = frame.bitvec
         frame.clear_bit(index)
         if frame.bitvec == 0:
-            # nothing left interleaved: the frame is clean again
+            # Nothing left interleaved: the frame is clean again.  Save
+            # the pre-clear footprint first — a block that drains
+            # incrementally must train the history table exactly like
+            # one evicted by a restore, or its next install batch-
+            # fetches nothing (Section III-A).
+            if self.config.enable_bitvector_history and footprint:
+                self.history.save(frame.first_pc, frame.first_addr, footprint)
             self._forget_remap(way)
         self.stats.subblock_swaps += 1
         return [
@@ -570,6 +582,76 @@ class SilcFmScheme(MemoryScheme):
         position = way // self.num_sets
         offset = (set_index * self.assoc + position) * METADATA_ENTRY_BYTES
         return Op(Level.NM, self._meta_base + offset, METADATA_ENTRY_BYTES, False)
+
+    # ------------------------------------------------------------------
+    # invariants (differential oracle hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Metadata agreement: residency bit vectors, the
+        ``_frame_of_block`` reverse map and the lock owners must tell
+        one consistent story (the flat-space bijection depends on it)."""
+        remap_seen: Dict[int, int] = {}
+        for way, frame in enumerate(self.frames):
+            self._invariant(0 <= frame.bitvec <= FULL_BITVEC,
+                            f"way {way} bit vector {frame.bitvec:#x} "
+                            "out of range")
+            self._invariant(0 <= frame.nm_count <= COUNTER_MAX
+                            and 0 <= frame.fm_count <= COUNTER_MAX,
+                            f"way {way} activity counter out of 6-bit range")
+            if frame.locked:
+                self._invariant(frame.lock_owner in ("nm", "fm"),
+                                f"way {way} locked with owner "
+                                f"{frame.lock_owner!r}")
+            else:
+                self._invariant(frame.lock_owner is None,
+                                f"way {way} unlocked but owner "
+                                f"{frame.lock_owner!r} lingers")
+            if frame.remap is None:
+                self._invariant(frame.bitvec == 0,
+                                f"way {way} has residency bits "
+                                f"{frame.bitvec:#x} but no remapped block")
+                self._invariant(frame.fm_count == 0,
+                                f"way {way} counts FM activity with no "
+                                "remapped block")
+                self._invariant(frame.lock_owner != "fm",
+                                f"way {way} fm-locked with no remapped block")
+                continue
+            block = frame.remap
+            self._invariant(block >= self.space.nm_blocks,
+                            f"way {way} remaps NM-native block {block}")
+            self._invariant(block < self.space.total_blocks,
+                            f"way {way} remaps out-of-space block {block}")
+            self._invariant(block % self.num_sets == way % self.num_sets,
+                            f"way {way} (set {way % self.num_sets}) remaps "
+                            f"block {block} of set {block % self.num_sets}")
+            self._invariant(block not in remap_seen,
+                            f"block {block} interleaved into both way "
+                            f"{remap_seen.get(block)} and way {way}")
+            remap_seen[block] = way
+            self._invariant(self._frame_of_block.get(block) == way,
+                            f"way {way} remaps block {block} but the "
+                            "reverse map says "
+                            f"{self._frame_of_block.get(block)}")
+            if frame.locked and frame.lock_owner == "fm":
+                self._invariant(frame.bitvec == FULL_BITVEC,
+                                f"way {way} fm-locked with partial bit "
+                                f"vector {frame.bitvec:#x}")
+            elif frame.locked:
+                self._invariant(False,
+                                f"way {way} nm-locked while block {block} is "
+                                "remapped into it (restore must precede the "
+                                "lock)")
+            else:
+                self._invariant(frame.bitvec != 0,
+                                f"way {way} remaps block {block} with an "
+                                "empty bit vector (drain should have "
+                                "forgotten it)")
+        for block, way in self._frame_of_block.items():
+            self._invariant(0 <= way < len(self.frames),
+                            f"block {block} mapped to bad way {way}")
+            self._invariant(self.frames[way].remap == block,
+                            f"reverse map says way {way} holds block "
+                            f"{block} but the frame metadata disagrees")
 
     # ------------------------------------------------------------------
     # introspection for tests / reports

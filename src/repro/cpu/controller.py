@@ -17,12 +17,15 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.dram.device import MemoryDevice
 from repro.dram.request import Priority
 from repro.schemes.base import AccessPlan, Level, MemoryScheme, Op
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:
+    from repro.validate.oracle import ValidationOracle
 
 
 @dataclass
@@ -67,11 +70,16 @@ class FlatMemoryController:
     """Glue between the LLC miss stream, a scheme, and the devices."""
 
     def __init__(self, engine: Engine, scheme: MemoryScheme,
-                 nm_device: MemoryDevice, fm_device: MemoryDevice) -> None:
+                 nm_device: MemoryDevice, fm_device: MemoryDevice,
+                 oracle: Optional["ValidationOracle"] = None) -> None:
         self._engine = engine
         self.scheme = scheme
         self._nm = nm_device
         self._fm = fm_device
+        #: differential oracle (repro.validate); None in normal runs.
+        #: Hooked around every scheme call so it sees the same metadata
+        #: snapshots the scheme does, stall-rescheduling included.
+        self.oracle = oracle
         self.stats = ControllerStats()
         self._stall_until = 0.0
         period = scheme.epoch_period_cycles()
@@ -89,7 +97,11 @@ class FlatMemoryController:
                 self._stall_until, self.handle_miss, paddr, is_write, pc, on_done
             )
             return
+        if self.oracle is not None:
+            self.oracle.before_access(paddr, is_write)
         plan = self.scheme.access(paddr, is_write, pc)
+        if self.oracle is not None:
+            self.oracle.after_access(paddr, is_write, plan)
         self._account(plan)
         for op in plan.background:
             self._issue(op, Priority.BACKGROUND, None)
@@ -105,6 +117,8 @@ class FlatMemoryController:
     def handle_writeback(self, paddr: int) -> None:
         """LLC dirty eviction: background write to the data's location."""
         plan = self.scheme.writeback(paddr)
+        if self.oracle is not None:
+            self.oracle.after_writeback(paddr, plan)
         self.stats.writebacks += 1
         self._account(plan)
         for op in plan.background:
@@ -151,6 +165,8 @@ class FlatMemoryController:
     # ------------------------------------------------------------------
     def _run_epoch(self, period: float) -> None:
         ops, stall = self.scheme.epoch()
+        if self.oracle is not None:
+            self.oracle.after_epoch(ops)
         for op in ops:
             self._issue(op, Priority.BACKGROUND, None)
             if op.level is Level.NM:

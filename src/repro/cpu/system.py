@@ -153,8 +153,15 @@ class System:
         self.fm_device = MemoryDevice(
             self.engine, config.fm_timings, config.fm_bytes, name="fm")
         self.scheme = scheme_factory(self.space, config)
+        self.oracle = None
+        if config.check_interval > 0:
+            from repro.validate import ValidationOracle
+
+            self.oracle = ValidationOracle(
+                self.scheme, check_every=config.check_interval)
         self.controller = FlatMemoryController(
-            self.engine, self.scheme, self.nm_device, self.fm_device)
+            self.engine, self.scheme, self.nm_device, self.fm_device,
+            oracle=self.oracle)
         self.hierarchy = (
             CacheHierarchy(config.caches, config.cores) if mode == "reference" else None
         )
@@ -228,6 +235,9 @@ class System:
                 raise SimulationError(f"exceeded max_events={max_events}")
         finish = max(core.stats.finish_time for core in self.cores)
         elapsed = finish - (self._warmup_done_at or 0.0)
+        if self.oracle is not None:
+            # end-of-run bijection proof: every subblock accounted for.
+            self.oracle.full_check()
         return self._result(elapsed)
 
     def _result(self, elapsed: float) -> RunResult:
@@ -237,6 +247,16 @@ class System:
         energy = energy_model.breakdown(
             nm_stats.bytes_total, fm_stats.bytes_total, elapsed)
         edp = energy.total_joules * energy_model.cycles_to_seconds(elapsed)
+        extras = {
+            "nm_utilization": self.nm_device.utilization(elapsed),
+            "fm_utilization": self.fm_device.utilization(elapsed),
+            "page_reclaims": float(
+                sum(t.reclaims for t in self.page_tables)),
+        }
+        if self.oracle is not None:
+            extras["oracle_accesses_checked"] = float(
+                self.oracle.accesses_checked)
+            extras["oracle_full_scans"] = float(self.oracle.full_scans)
         return RunResult(
             scheme_name=self.scheme.name,
             workload_name=self.workload.name,
@@ -248,10 +268,5 @@ class System:
             fm_stats=fm_stats,
             energy=energy,
             edp=edp,
-            extras={
-                "nm_utilization": self.nm_device.utilization(elapsed),
-                "fm_utilization": self.fm_device.utilization(elapsed),
-                "page_reclaims": float(
-                    sum(t.reclaims for t in self.page_tables)),
-            },
+            extras=extras,
         )

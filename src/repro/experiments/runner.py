@@ -104,6 +104,12 @@ def run_one(scheme_key: str, workload_name: str, config: SystemConfig,
 
     A fifth of each trace warms the remap structures before measurement
     starts (the paper measures steady-state Simpoint regions).
+
+    With ``config.check_interval > 0`` the run carries the differential
+    oracle (:mod:`repro.validate`) and raises ``InvariantViolation`` on
+    the first metadata/bijection inconsistency; the executor's result
+    cache keys on the whole config, so checked and unchecked runs never
+    share cache entries.
     """
     if scheme_key not in SCHEMES:
         raise KeyError(f"unknown scheme {scheme_key!r}; have {sorted(SCHEMES)}")

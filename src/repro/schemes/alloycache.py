@@ -38,6 +38,9 @@ class AlloyCacheScheme(MemoryScheme):
     """
 
     name = "alloy"
+    #: a cache is deliberately not a bijection: FM is always the home,
+    #: NM holds copies (the oracle validates it in copy-tracking mode).
+    bijective = False
 
     def __init__(self, space: AddressSpace) -> None:
         super().__init__(space)
@@ -107,6 +110,21 @@ class AlloyCacheScheme(MemoryScheme):
         if cached is not None and cached[0] == line:
             return Level.NM, slot * SUBBLOCK_BYTES + offset % SUBBLOCK_BYTES
         return Level.FM, offset
+
+    def check_invariants(self) -> None:
+        """Tag-array consistency: every cached line maps to the slot it
+        occupies and names a real FM line."""
+        fm_lines = self.space.fm_bytes // SUBBLOCK_BYTES
+        for slot, (line, dirty) in self._slot.items():
+            self._invariant(0 <= slot < self.num_slots,
+                            f"tag entry for out-of-range slot {slot}")
+            self._invariant(0 <= line < fm_lines,
+                            f"slot {slot} caches out-of-space FM line {line}")
+            self._invariant(line % self.num_slots == slot,
+                            f"slot {slot} caches line {line} that maps to "
+                            f"slot {line % self.num_slots}")
+            self._invariant(isinstance(dirty, bool),
+                            f"slot {slot} dirty bit is not a bool")
 
     @property
     def hit_rate(self) -> float:

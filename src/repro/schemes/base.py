@@ -33,6 +33,15 @@ from typing import List, Optional, Tuple
 from repro.xmem.address import AddressSpace
 
 
+class InvariantViolation(AssertionError):
+    """A scheme's remapping metadata is internally inconsistent.
+
+    Raised by :meth:`MemoryScheme.check_invariants` and by the
+    differential oracle (:mod:`repro.validate`); subclasses
+    ``AssertionError`` so plain ``pytest.raises(AssertionError)`` also
+    catches it."""
+
+
 class Level(Enum):
     """One of the two memory levels."""
 
@@ -107,6 +116,11 @@ class MemoryScheme(abc.ABC):
     """Base class for all flat-memory organisations."""
 
     name: str = "abstract"
+    #: True when the scheme maintains the part-of-memory bijection (data
+    #: *moves*, position-for-position, and every flat subblock lives in
+    #: exactly one slot).  Cache-style schemes (Alloy) set this False:
+    #: FM is always the home and NM holds copies.
+    bijective: bool = True
 
     def __init__(self, space: AddressSpace) -> None:
         self.space = space
@@ -142,6 +156,26 @@ class MemoryScheme(abc.ABC):
 
     def on_memory_access(self) -> None:
         """Called once per LLC miss for age/epoch bookkeeping."""
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def check_invariants(self) -> None:
+        """Verify the scheme's remapping metadata is self-consistent.
+
+        Every scheme must implement this: it is the per-scheme half of
+        the differential oracle (:mod:`repro.validate`) — the shadow
+        memory checks *where data is*, this hook checks that the
+        scheme's own bookkeeping structures agree with each other
+        (forward and reverse maps mutual, residency bits legal, lock
+        owners coherent, ...).  Raises :class:`InvariantViolation` on
+        the first inconsistency; returns None when clean.  Must be
+        side-effect free: it is called mid-run between accesses.
+        """
+
+    def _invariant(self, condition: bool, message: str) -> None:
+        """Raise :class:`InvariantViolation` unless ``condition``."""
+        if not condition:
+            raise InvariantViolation(f"{self.name}: {message}")
 
     # ------------------------------------------------------------------
     def record_plan(self, plan: AccessPlan) -> None:

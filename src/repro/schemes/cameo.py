@@ -106,6 +106,33 @@ class CameoScheme(MemoryScheme):
             raise ValueError(f"subblock {subblock} is an NM home, not FM")
         return offset
 
+    def check_invariants(self) -> None:
+        """Congruence-group bookkeeping consistency: every slot holds a
+        member of its own group, and the displaced-member map never
+        duplicates a home or contradicts slot occupancy."""
+        for group, occupant in enumerate(self._present):
+            self._invariant(0 <= occupant < self._total_subblocks,
+                            f"slot {group} holds out-of-space line {occupant}")
+            self._invariant(occupant % self.num_slots == group,
+                            f"slot {group} holds line {occupant} from a "
+                            "different congruence group")
+        homes_seen = {}
+        for member, home in self._home_of.items():
+            self._invariant(member % self.num_slots == home % self.num_slots,
+                            f"line {member} stored at home {home} outside "
+                            "its congruence group")
+            self._invariant(home >= self.num_slots,
+                            f"line {member} claims NM-range home {home}")
+            self._invariant(home < self._total_subblocks,
+                            f"line {member} home {home} out of space")
+            self._invariant(self._present[member % self.num_slots] != member,
+                            f"line {member} recorded as displaced while its "
+                            "NM slot also holds it (duplication)")
+            self._invariant(home not in homes_seen,
+                            f"FM home {home} stores both line "
+                            f"{homes_seen.get(home)} and line {member}")
+            homes_seen[home] = member
+
     # exposed for tests ----------------------------------------------------
     def group_members(self, group: int) -> List[int]:
         return list(range(group, self._total_subblocks, self.num_slots))

@@ -182,3 +182,34 @@ class HmaScheme(MemoryScheme):
         if offset < 0:
             raise ValueError(f"block {block} is an NM home, not FM")
         return offset
+
+    def check_invariants(self) -> None:
+        """Fully-associative bookkeeping: ``_present`` and ``_frame_of``
+        are mutual inverses, and a displaced block is never also
+        NM-resident."""
+        total_blocks = self.space.total_blocks
+        self._invariant(len(self._present) == self.num_frames,
+                        "frame table size drifted")
+        for frame, block in enumerate(self._present):
+            self._invariant(0 <= block < total_blocks,
+                            f"frame {frame} holds out-of-space block {block}")
+            self._invariant(self._frame_of.get(block) == frame,
+                            f"frame {frame} holds block {block} but the "
+                            "reverse map disagrees")
+        for block, frame in self._frame_of.items():
+            self._invariant(0 <= frame < self.num_frames,
+                            f"block {block} mapped to bad frame {frame}")
+            self._invariant(self._present[frame] == block,
+                            f"reverse map says frame {frame} holds block "
+                            f"{block} but the frame table disagrees")
+        homes_seen = {}
+        for block, home in self._home_of.items():
+            self._invariant(block not in self._frame_of,
+                            f"block {block} is both NM-resident and "
+                            "recorded as displaced (duplication)")
+            self._invariant(self.space.nm_blocks <= home < total_blocks,
+                            f"block {block} claims non-FM home {home}")
+            self._invariant(home not in homes_seen,
+                            f"FM home {home} stores both block "
+                            f"{homes_seen.get(home)} and block {block}")
+            homes_seen[home] = block

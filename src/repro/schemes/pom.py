@@ -155,6 +155,39 @@ class PomScheme(MemoryScheme):
             raise ValueError(f"block {block} is an NM home, not FM")
         return offset
 
+    def check_invariants(self) -> None:
+        """Direct-mapped block bookkeeping: every frame holds a block of
+        its own congruence class, displaced homes are unique FM blocks,
+        and competing counters only exist for non-resident blocks."""
+        total_blocks = self.space.total_blocks
+        for frame, occupant in enumerate(self._present):
+            self._invariant(0 <= occupant < total_blocks,
+                            f"frame {frame} holds out-of-space block {occupant}")
+            self._invariant(occupant % self.num_frames == frame,
+                            f"frame {frame} holds block {occupant} from a "
+                            "different congruence class")
+            self._invariant(self._occupant_count[frame] >= 0,
+                            f"frame {frame} occupant count negative")
+        homes_seen = {}
+        for block, home in self._home_of.items():
+            self._invariant(block % self.num_frames == home % self.num_frames,
+                            f"block {block} stored at home {home} outside "
+                            "its congruence class")
+            self._invariant(self.num_frames <= home < total_blocks,
+                            f"block {block} claims non-FM home {home}")
+            self._invariant(self._present[block % self.num_frames] != block,
+                            f"block {block} recorded as displaced while its "
+                            "frame also holds it (duplication)")
+            self._invariant(home not in homes_seen,
+                            f"FM home {home} stores both block "
+                            f"{homes_seen.get(home)} and block {block}")
+            homes_seen[home] = block
+        for block, count in self._counters.items():
+            self._invariant(count >= 0, f"block {block} counter negative")
+            self._invariant(self._present[block % self.num_frames] != block,
+                            f"resident block {block} still has a competing "
+                            "counter")
+
     # exposed for tests ----------------------------------------------------
     def frame_occupant(self, frame: int) -> int:
         return self._present[frame]

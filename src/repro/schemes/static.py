@@ -45,6 +45,19 @@ class StaticScheme(MemoryScheme):
             return Level.NM, self.space.nm_offset(paddr)
         return Level.FM, self.space.fm_offset(paddr)
 
+    def check_invariants(self) -> None:
+        """The identity mapping carries no mutable metadata; verify the
+        address-space split itself is coherent (the oracle's shadow
+        covers the rest)."""
+        self._invariant(self.space.nm_bytes + self.space.fm_bytes
+                        == self.space.total_bytes,
+                        "NM+FM regions do not tile the flat space")
+        self._invariant(self.locate(0) == (Level.NM, 0),
+                        "flat address 0 must be NM-resident, offset 0")
+        first_fm = self.space.nm_bytes
+        self._invariant(self.locate(first_fm) == (Level.FM, 0),
+                        "first FM address must map to FM offset 0")
+
     def _op(self, level: Level, offset: int, is_write: bool):
         if level is Level.NM:
             return self._nm_data_op(offset, is_write=is_write)

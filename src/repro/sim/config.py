@@ -130,6 +130,12 @@ class SystemConfig:
     #: Remap-metadata read size (one remap entry + bit vector + counters).
     metadata_bytes: int = 8
     seed: int = 1
+    #: Differential-oracle full-scan period, in LLC misses.  0 (default)
+    #: disables validation entirely; N > 0 attaches the shadow-memory
+    #: oracle (:mod:`repro.validate`) to every access and runs the
+    #: whole-space bijection scan every N misses.  Observation only —
+    #: the simulated figures of merit are unchanged.
+    check_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.nm_bytes % BLOCK_BYTES:
@@ -138,6 +144,8 @@ class SystemConfig:
             raise ValueError("fm_bytes must be a multiple of the 2KB block")
         if self.fm_bytes < self.nm_bytes:
             raise ValueError("far memory must be at least as large as near memory")
+        if self.check_interval < 0:
+            raise ValueError("check_interval must be >= 0")
 
     # ------------------------------------------------------------------
     # derived quantities

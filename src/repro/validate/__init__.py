@@ -1,0 +1,23 @@
+"""Differential validation of flat-memory schemes.
+
+``ShadowMemory`` independently tracks the logical identity of every 64 B
+slot by replaying device traffic; ``ValidationOracle`` diffs that ledger
+against each scheme's own metadata (``check_invariants``, ``locate``,
+``serviced_from``, SILC-FM's Table I tags) on every access.  Enabled
+with ``--check`` on the CLI or ``SystemConfig.check_interval > 0``.
+"""
+
+from repro.validate.oracle import (
+    DEFAULT_CHECK_EVERY,
+    OracleViolation,
+    ValidationOracle,
+)
+from repro.validate.shadow import ShadowMemory, ShadowViolation
+
+__all__ = [
+    "DEFAULT_CHECK_EVERY",
+    "OracleViolation",
+    "ShadowMemory",
+    "ShadowViolation",
+    "ValidationOracle",
+]

@@ -1,0 +1,178 @@
+"""Differential oracle: the scheme's story vs the shadow's ledger.
+
+For every serviced LLC miss the oracle checks, in order:
+
+1. **Serviced-from** — ``plan.serviced_from`` names the level where the
+   shadow says the requested subblock lived *before* the plan's own
+   data movement (a swap brings data in for *next* time; this access
+   was serviced from the old location).
+2. **Critical-path coverage** — some critical-path operation actually
+   touches the slot the data was serviced from (a plan that claims NM
+   service but only ever read FM is mis-accounting latency).
+3. **Table I row tag** (SILC-FM only) — the plan's ``note`` matches the
+   row the oracle derives from the *pre-access* metadata snapshot.
+4. **Replay + locate round-trip** — after replaying the plan's
+   operations into the shadow, ``scheme.locate(paddr)`` must agree with
+   the shadow about where the requested subblock now lives.
+
+Every ``check_every`` misses (and once at end of run) a **full check**
+additionally runs :meth:`MemoryScheme.check_invariants` and scans the
+whole flat space: every subblock's ``locate`` must round-trip against
+the shadow — this is the bijection proof (no subblock duplicated, none
+lost), at the cost of a full-space scan.
+
+The oracle is pure observation: it never mutates scheme state, so a
+checked run's figures of merit are identical to an unchecked run's
+(only wall-clock time differs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.silcfm import SilcFmScheme
+from repro.schemes.base import AccessPlan, InvariantViolation, MemoryScheme, Op
+from repro.sim.config import SUBBLOCK_BYTES
+from repro.validate.shadow import ShadowMemory
+
+#: default full-scan period (in checked misses); the scan costs one
+#: ``locate`` per subblock of the flat space, so it is the expensive half
+#: of the oracle.
+DEFAULT_CHECK_EVERY = 10_000
+
+
+class OracleViolation(InvariantViolation):
+    """The scheme's metadata/plan disagrees with the shadow memory."""
+
+
+class ValidationOracle:
+    """Differential checker wrapping one scheme instance.
+
+    Hooked into the controller around every ``scheme.access`` /
+    ``writeback`` / ``epoch`` call (see
+    :class:`repro.cpu.controller.FlatMemoryController`).  Raises
+    :class:`OracleViolation` (or lets the scheme's own
+    :class:`InvariantViolation` propagate) on the first inconsistency.
+    """
+
+    def __init__(self, scheme: MemoryScheme,
+                 check_every: int = DEFAULT_CHECK_EVERY) -> None:
+        self.scheme = scheme
+        self.space = scheme.space
+        self.check_every = max(0, int(check_every))
+        self.shadow = ShadowMemory(self.space, copy_mode=not scheme.bijective)
+        self.accesses_checked = 0
+        self.full_scans = 0
+        self._expected_note: Optional[str] = None
+        self._silcfm = isinstance(scheme, SilcFmScheme)
+
+    # ------------------------------------------------------------------
+    # controller hooks
+    # ------------------------------------------------------------------
+    def before_access(self, paddr: int, is_write: bool) -> None:
+        """Snapshot-derived expectations, taken before the scheme runs."""
+        if self._silcfm:
+            self._expected_note = self._predict_note(paddr)
+
+    def after_access(self, paddr: int, is_write: bool,
+                     plan: AccessPlan) -> None:
+        sid = paddr // SUBBLOCK_BYTES
+        level, slot = self.shadow.location(sid)
+        if plan.serviced_from is not level:
+            raise OracleViolation(
+                f"{self.scheme.name}: access {paddr:#x} serviced from "
+                f"{plan.serviced_from.value} (note={plan.note!r}) but the "
+                f"shadow holds its data at {level.value} slot {slot}")
+        critical = plan.critical_ops()
+        if not any(op.level is level and slot in self.shadow.data_slots(op)
+                   for op in critical):
+            raise OracleViolation(
+                f"{self.scheme.name}: access {paddr:#x} serviced from "
+                f"{level.value} slot {slot} but no critical-path operation "
+                f"touches that slot (note={plan.note!r})")
+        if self._expected_note is not None and plan.note != self._expected_note:
+            raise OracleViolation(
+                f"{self.scheme.name}: access {paddr:#x} produced Table I "
+                f"tag {plan.note!r} but pre-access metadata implies "
+                f"{self._expected_note!r}")
+        self._expected_note = None
+        self.shadow.apply(critical + list(plan.background))
+        self._check_locate(paddr)
+        self.accesses_checked += 1
+        if self.check_every and self.accesses_checked % self.check_every == 0:
+            self.full_check()
+
+    def after_writeback(self, paddr: int, plan: AccessPlan) -> None:
+        """LLC dirty eviction: the write must land where the data lives,
+        and must not move anything."""
+        level, slot = self.shadow.location(paddr // SUBBLOCK_BYTES)
+        if plan.serviced_from is not level:
+            raise OracleViolation(
+                f"{self.scheme.name}: writeback {paddr:#x} routed to "
+                f"{plan.serviced_from.value} but the shadow holds its data "
+                f"at {level.value} slot {slot}")
+        self.shadow.apply(plan.critical_ops() + list(plan.background))
+
+    def after_epoch(self, ops: Iterable[Op]) -> None:
+        """Epoch-based bulk migration (HMA): replay and re-verify the
+        scheme's bookkeeping at its most dangerous moment."""
+        self.shadow.apply(ops)
+        self.scheme.check_invariants()
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+    def _check_locate(self, paddr: int) -> None:
+        sid = paddr // SUBBLOCK_BYTES
+        slevel, sslot = self.shadow.location(sid)
+        llevel, loffset = self.scheme.locate(paddr)
+        if (llevel is not slevel or loffset // SUBBLOCK_BYTES != sslot
+                or loffset % SUBBLOCK_BYTES != paddr % SUBBLOCK_BYTES):
+            raise OracleViolation(
+                f"{self.scheme.name}: locate({paddr:#x}) = "
+                f"({llevel.value}, {loffset:#x}) but the shadow holds the "
+                f"data at {slevel.value} slot {sslot}")
+
+    def full_check(self) -> None:
+        """Scheme self-consistency plus the whole-space bijection scan."""
+        self.scheme.check_invariants()
+        self.shadow.check_self_bijection()
+        start = self.shadow.nm_slots if self.shadow.copy_mode else 0
+        for sid in range(start, self.shadow.nm_slots + self.shadow.fm_slots):
+            self._check_locate(sid * SUBBLOCK_BYTES)
+        self.full_scans += 1
+
+    # ------------------------------------------------------------------
+    # SILC-FM Table I row prediction
+    # ------------------------------------------------------------------
+    def _predict_note(self, paddr: int) -> Optional[str]:
+        """Derive the Table I row this access must take from the current
+        (pre-access) metadata.  Returns None — skip the check — on aging
+        boundaries, where ``access()`` itself releases stale locks
+        *before* building the plan, invalidating any snapshot taken out
+        here."""
+        scheme = self.scheme
+        monitor = scheme.monitor
+        if (monitor.accesses + 1) % monitor.aging_period == 0:
+            return None
+        bypassing = scheme._bypassing
+        index = self.space.subblock_index(paddr)
+        if self.space.is_fm(paddr):
+            block = self.space.block_of(paddr)
+            way = scheme.way_of_block(block)
+            if way is not None:
+                frame = scheme.frame(way)
+                if frame.locked or frame.bit(index):
+                    return "row1"
+                return "row2-bypass" if bypassing else "row2"
+            if bypassing:
+                return "row5-bypass"
+            if scheme._choose_victim(block % scheme.num_sets, block) is None:
+                return "all-locked"
+            return "row5"
+        frame = scheme.frame(self.space.nm_block_of(paddr))
+        if frame.locked and frame.lock_owner == "fm":
+            return "nm-displaced-by-lock"
+        if frame.remap is not None and not frame.locked and frame.bit(index):
+            return "row3-bypass" if bypassing else "row3"
+        return "row4"

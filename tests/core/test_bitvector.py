@@ -73,3 +73,14 @@ def test_any_saved_vector_is_recoverable(pc, addr, vec):
 @given(pc=st.integers(min_value=0), addr=st.integers(min_value=0))
 def test_index_always_in_range(pc, addr):
     assert 0 <= history_index(pc, addr, 4096) < 4096
+
+
+def test_index_shift_follows_subblock_geometry(monkeypatch):
+    """Regression: the index shift must come from SUBBLOCK_BYTES, not a
+    hard-coded ``>> 6``, or a non-default geometry splits one subblock's
+    history across entries."""
+    import repro.core.bitvector as bitvector_module
+
+    monkeypatch.setattr(bitvector_module, "SUBBLOCK_BYTES", 128)
+    assert history_index(0, 127, 64) == history_index(0, 0, 64)
+    assert history_index(0, 128, 64) != history_index(0, 0, 64)

@@ -52,6 +52,18 @@ def test_power_of_two_required():
         WayPredictor(1000)
 
 
+def test_index_shift_follows_block_geometry(monkeypatch):
+    """Regression: the index shift must come from BLOCK_BYTES, not a
+    hard-coded ``>> 11``, or a non-default geometry aliases neighbouring
+    blocks into one entry."""
+    import repro.core.predictor as predictor_module
+
+    monkeypatch.setattr(predictor_module, "BLOCK_BYTES", 4096)
+    pred = WayPredictor(64)
+    assert pred._index(0, 4095) == pred._index(0, 0)
+    assert pred._index(0, 4096) != pred._index(0, 0)
+
+
 # ----------------------------------------------------------------------
 # bandwidth balancer
 # ----------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Behavioural tests for SILC-FM's locking, bypass, associativity and
 predictor features (Sections III-C through III-F)."""
 
+from repro.core.predictor import Prediction
 from repro.core.silcfm import SilcFmScheme
 from repro.schemes.base import Level
 from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES, SilcFmConfig
@@ -248,3 +249,55 @@ def test_wrong_way_prediction_scans():
     # same pc/block trains way; now evicted and reinstalled elsewhere
     # is hard to force; instead check accuracy bookkeeping exists
     assert scheme.predictor.way_correct + scheme.predictor.way_wrong >= 1
+
+
+def test_bypassed_access_does_not_train_predictor():
+    """Regression: a bypassed miss installs nothing, so training the
+    predictor with its (way, in_fm) would poison later predictions for
+    every block aliasing that entry."""
+    scheme = make_scheme(enable_bypass=True, access_rate_window=32,
+                         hot_threshold=1000)
+    hot = fm_addr(0, 0)
+    for __ in range(65):
+        scheme.access(hot, False, pc=PC)
+    assert scheme.balancer.bypassing
+    outcomes_before = (scheme.predictor.loc_correct
+                       + scheme.predictor.loc_wrong)
+    # pc chosen so the entry does not alias the hot block's trained one
+    pc = PC + 1
+    fresh = fm_addr(1, 5)
+    assert scheme.predictor.predict(pc, fresh) == Prediction(None, False)
+    plan = scheme.access(fresh, False, pc=pc)
+    assert plan.bypassed
+    assert scheme.predictor.predict(pc, fresh) == Prediction(None, False)
+    # accuracy accounting must not count the bypassed access either
+    assert (scheme.predictor.loc_correct
+            + scheme.predictor.loc_wrong) == outcomes_before
+
+
+# ----------------------------------------------------------------------
+# bit-vector history on the incremental drain path (Section III-A)
+# ----------------------------------------------------------------------
+def test_incremental_drain_saves_footprint_history():
+    """Regression: a block whose last interleaved subblock drains via
+    row 3 must save its footprint exactly like a restore-evicted block,
+    or its next install batch-fetches nothing."""
+    scheme = make_scheme(hot_threshold=1000)  # no locking interference
+    addr = fm_addr(0, 5)
+    scheme.access(addr, False, pc=PC)  # row 5: install at index 5
+    way = scheme.way_of_block(addr // BLOCK_BYTES)
+    frame = scheme.frame(way)
+    assert frame.bitvec == 1 << 5
+    saves_before = scheme.history.saves
+    # native subblock 5 returns: the frame drains to empty via row 3
+    plan = scheme.access(way * BLOCK_BYTES + 5 * SUBBLOCK_BYTES, False,
+                         pc=PC + 4)
+    assert plan.note == "row3"
+    assert frame.remap is None
+    assert scheme.history.saves == saves_before + 1
+    # the saved footprint now trains the block's reinstall
+    hits_before = scheme.history.hits
+    scheme.access(addr, False, pc=PC)
+    assert scheme.history.hits == hits_before + 1
+    assert scheme.frame(scheme.way_of_block(addr // BLOCK_BYTES)).bitvec \
+        == 1 << 5

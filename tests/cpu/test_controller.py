@@ -42,6 +42,9 @@ class ScriptedScheme(MemoryScheme):
         self.epoch_calls += 1
         return self._epoch_result
 
+    def check_invariants(self):
+        pass  # no metadata to cross-check
+
 
 def build(plans, epoch_period=None, epoch_result=([], 0.0)):
     engine = Engine()

@@ -38,6 +38,9 @@ def system_configs(draw):
         nm_bytes=nm_blocks * BLOCK_BYTES,
         fm_bytes=nm_blocks * ratio * BLOCK_BYTES,
         silcfm=silc,
+        # 0 = no oracle; otherwise every fuzzed run also carries the
+        # shadow-memory differential checker (repro.validate).
+        check_interval=draw(st.sampled_from([0, 40, 400])),
     )
     return base
 

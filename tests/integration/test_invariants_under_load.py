@@ -32,6 +32,18 @@ def test_post_run_bijection(config, scheme_key):
         seen.add(slot)
 
 
+@pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+def test_oracle_checked_run_is_clean(config, scheme_key):
+    """Every registered scheme survives a full run with the shadow-memory
+    differential oracle attached (serviced-from, Table I tags, locate
+    round-trips and periodic whole-space bijection scans)."""
+    checked = dataclasses.replace(config, check_interval=500)
+    result = run_one(scheme_key, "milc", checked, misses_per_core=400,
+                     warmup_fraction=0.0)
+    assert result.extras["oracle_accesses_checked"] == 400 * config.cores
+    assert result.extras["oracle_full_scans"] >= 1
+
+
 @pytest.mark.parametrize("scheme_key", ["nonm", "cam", "pom", "silc"])
 def test_conservation_of_misses(config, scheme_key):
     """Every issued miss is retired exactly once and counted once."""

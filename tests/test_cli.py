@@ -31,7 +31,7 @@ def test_trace_generation(tmp_path, capsys):
 def test_run_command(capsys, monkeypatch):
     # shrink the system so the CLI test stays fast
     small = dataclasses.replace(default_config(scale=0.25), cores=2)
-    monkeypatch.setattr(cli, "_config", lambda scale: small)
+    monkeypatch.setattr(cli, "_config", lambda scale, args=None: small)
     assert cli.main(["run", "silc", "mcf", "--misses", "400"]) == 0
     out = capsys.readouterr().out
     assert "NM access rate" in out
@@ -40,12 +40,42 @@ def test_run_command(capsys, monkeypatch):
 
 def test_compare_command(capsys, monkeypatch):
     small = dataclasses.replace(default_config(scale=0.25), cores=2)
-    monkeypatch.setattr(cli, "_config", lambda scale: small)
+    monkeypatch.setattr(cli, "_config", lambda scale, args=None: small)
     assert cli.main(["compare", "mcf", "--schemes", "cam", "silc",
                      "--misses", "400"]) == 0
     out = capsys.readouterr().out
     assert "Speedup" in out
     assert "#" in out  # the bar chart rendered
+
+
+def test_check_flag_attaches_the_oracle(capsys, monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=1)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    seen = {}
+    real_run_one = cli.run_one
+
+    def spy(scheme, benchmark, config, **kwargs):
+        seen["check_interval"] = config.check_interval
+        return real_run_one(scheme, benchmark, config, **kwargs)
+
+    monkeypatch.setattr(cli, "run_one", spy)
+    assert cli.main(["run", "silc", "mcf", "--misses", "200",
+                     "--check-every", "50"]) == 0
+    assert seen["check_interval"] == 50
+    assert cli.main(["run", "silc", "mcf", "--misses", "200",
+                     "--check"]) == 0
+    assert seen["check_interval"] == cli.DEFAULT_CHECK_EVERY
+
+
+def test_check_flags_left_off_leave_config_unchecked(monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=1)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    assert cli._config(None, None).check_interval == 0
+
+
+def test_non_positive_check_interval_rejected(monkeypatch, capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["run", "silc", "mcf", "--check-every", "0"])
 
 
 def test_unknown_scheme_rejected():

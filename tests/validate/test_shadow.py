@@ -1,0 +1,223 @@
+"""Unit tests for the shadow-memory exchange-matching replay.
+
+Each test hand-builds the exact ``Op`` sequences the schemes emit
+(subblock swap triplet, restore quartet, 2 KB migration, Alloy fill)
+and checks the ledger tracks the movement — or stays put for traffic
+that moves nothing.
+"""
+
+import pytest
+
+from repro.schemes.base import Level, Op
+from repro.sim.config import BLOCK_BYTES, SUBBLOCK_BYTES
+from repro.validate.shadow import ShadowMemory, ShadowViolation
+from repro.xmem.address import AddressSpace
+
+NM_BLOCKS = 4
+FM_BLOCKS = 16
+SPACE = AddressSpace(NM_BLOCKS * BLOCK_BYTES, FM_BLOCKS * BLOCK_BYTES)
+NM_SLOTS = NM_BLOCKS * (BLOCK_BYTES // SUBBLOCK_BYTES)
+
+
+def nm_op(slot, write=False, size=SUBBLOCK_BYTES):
+    return Op(Level.NM, slot * SUBBLOCK_BYTES, size, write)
+
+
+def fm_op(slot, write=False, size=SUBBLOCK_BYTES):
+    return Op(Level.FM, slot * SUBBLOCK_BYTES, size, write)
+
+
+def shadow():
+    return ShadowMemory(SPACE)
+
+
+# ----------------------------------------------------------------------
+# identity + queries
+# ----------------------------------------------------------------------
+def test_initial_state_is_the_identity_mapping():
+    s = shadow()
+    assert s.location(0) == (Level.NM, 0)
+    assert s.location(NM_SLOTS - 1) == (Level.NM, NM_SLOTS - 1)
+    assert s.location(NM_SLOTS) == (Level.FM, 0)
+    assert s.id_at(Level.NM, 7) == 7
+    assert s.id_at(Level.FM, 3) == NM_SLOTS + 3
+    s.check_self_bijection()
+
+
+def test_out_of_space_id_rejected():
+    s = shadow()
+    with pytest.raises(ValueError):
+        s.location(NM_SLOTS + FM_BLOCKS * 32)
+
+
+# ----------------------------------------------------------------------
+# the exchange primitive
+# ----------------------------------------------------------------------
+def test_subblock_swap_triplet_exchanges_contents():
+    # SILC-FM row 2: critical FM read + background (NM out, NM in, FM out)
+    s = shadow()
+    index = 5
+    s.apply([fm_op(index),
+             nm_op(index), nm_op(index, write=True), fm_op(index, write=True)])
+    assert s.exchanges_replayed == 1
+    assert s.id_at(Level.NM, index) == NM_SLOTS + index
+    assert s.id_at(Level.FM, index) == index
+    assert s.location(index) == (Level.FM, index)
+    assert s.location(NM_SLOTS + index) == (Level.NM, index)
+    s.check_self_bijection()
+
+
+def test_swap_back_restores_the_identity():
+    s = shadow()
+    index = 5
+    swap = [fm_op(index), nm_op(index),
+            nm_op(index, write=True), fm_op(index, write=True)]
+    s.apply(swap)
+    s.apply(swap)  # row 3 drains with the same position-for-position ops
+    assert s.exchanges_replayed == 2
+    assert s.location(index) == (Level.NM, index)
+    assert s.location(NM_SLOTS + index) == (Level.FM, index)
+    s.check_self_bijection()
+
+
+def test_restore_quartet_order_is_accepted():
+    # _restore emits per index: NM read, FM write, FM read, NM write —
+    # the FM slot completes before the NM one; pairing must not care.
+    s = shadow()
+    s.apply([fm_op(3), nm_op(3), nm_op(3, write=True), fm_op(3, write=True)])
+    s.apply([nm_op(3), fm_op(3, write=True), fm_op(3), nm_op(3, write=True)])
+    assert s.location(3) == (Level.NM, 3)
+    assert s.location(NM_SLOTS + 3) == (Level.FM, 3)
+    s.check_self_bijection()
+
+
+def test_whole_block_migration_swaps_32_subblocks():
+    # PoM: FM read 2KB, NM read 2KB, NM write 2KB, FM write 2KB
+    s = shadow()
+    fm_block_base = 2 * BLOCK_BYTES  # FM device offset of FM block 2
+    s.apply([
+        Op(Level.FM, fm_block_base, BLOCK_BYTES, False),
+        Op(Level.NM, 0, BLOCK_BYTES, False),
+        Op(Level.NM, 0, BLOCK_BYTES, True),
+        Op(Level.FM, fm_block_base, BLOCK_BYTES, True),
+    ])
+    assert s.exchanges_replayed == 32
+    for j in range(32):
+        assert s.id_at(Level.NM, j) == NM_SLOTS + 64 + j
+        assert s.id_at(Level.FM, 64 + j) == j
+    s.check_self_bijection()
+
+
+def test_two_sequential_migrations_pair_within_their_own_group():
+    # HMA epoch migrating two pages: group A fully precedes group B in
+    # the op list, so index-j pairs must never cross groups.
+    s = shadow()
+    ops = []
+    for frame, fm_block in ((0, 2), (1, 3)):
+        base = fm_block * BLOCK_BYTES
+        ops.extend([
+            Op(Level.FM, base, BLOCK_BYTES, False),
+            Op(Level.NM, frame * BLOCK_BYTES, BLOCK_BYTES, False),
+            Op(Level.NM, frame * BLOCK_BYTES, BLOCK_BYTES, True),
+            Op(Level.FM, base, BLOCK_BYTES, True),
+        ])
+    s.apply(ops)
+    for j in range(32):
+        assert s.id_at(Level.NM, j) == NM_SLOTS + 64 + j
+        assert s.id_at(Level.NM, 32 + j) == NM_SLOTS + 96 + j
+    s.check_self_bijection()
+
+
+# ----------------------------------------------------------------------
+# traffic that must move nothing
+# ----------------------------------------------------------------------
+def test_reads_and_writes_alone_move_nothing():
+    s = shadow()
+    s.apply([nm_op(0), fm_op(0), fm_op(9)])            # demand reads
+    s.apply([nm_op(1, write=True), fm_op(4, write=True)])  # writebacks
+    assert s.exchanges_replayed == 0
+    s.check_self_bijection()
+    assert s.location(0) == (Level.NM, 0)
+
+
+def test_completed_slot_without_a_partner_stays_in_place():
+    # read + write of one NM slot with no opposite-level counterpart is
+    # an in-place rewrite (e.g. metadata-adjacent data update).
+    s = shadow()
+    s.apply([nm_op(2), nm_op(2, write=True)])
+    assert s.exchanges_replayed == 0
+    assert s.location(2) == (Level.NM, 2)
+
+
+def test_metadata_region_and_partial_slots_are_filtered():
+    s = ShadowMemory(SPACE)
+    meta = Op(Level.NM, SPACE.nm_bytes + 16, 8, False)       # remap entry
+    tad = Op(Level.NM, 3 * SUBBLOCK_BYTES, SUBBLOCK_BYTES + 8, False)
+    tiny = Op(Level.FM, 0, 8, True)
+    assert list(s.data_slots(meta)) == []
+    assert list(s.data_slots(tad)) == [3]   # the 8 B tag tail is dropped
+    assert list(s.data_slots(tiny)) == []
+    s.apply([meta, tad, tiny])
+    assert s.exchanges_replayed == 0
+
+
+def test_self_bijection_check_detects_ledger_corruption():
+    s = shadow()
+    s._nm[0] = s._nm[1] = 1  # duplicate an identity
+    with pytest.raises(ShadowViolation):
+        s.check_self_bijection()
+
+
+# ----------------------------------------------------------------------
+# copy mode (Alloy)
+# ----------------------------------------------------------------------
+def test_copy_mode_fill_installs_a_copy():
+    s = ShadowMemory(SPACE, copy_mode=True)
+    line = 2 * NM_SLOTS + 7  # FM line congruent to NM slot 7
+    slot = line % NM_SLOTS
+    sid = NM_SLOTS + line
+    assert s.location(sid) == (Level.FM, line)
+    s.apply([
+        Op(Level.NM, slot * SUBBLOCK_BYTES, SUBBLOCK_BYTES + 8, False),  # tag
+        fm_op(line),                                                     # fill read
+        Op(Level.NM, slot * SUBBLOCK_BYTES, SUBBLOCK_BYTES + 8, True),   # install
+    ])
+    assert s.location(sid) == (Level.NM, slot)
+    assert s.id_at(Level.NM, slot) == sid
+    s.check_self_bijection()
+
+
+def test_copy_mode_dirty_victim_writeback_is_not_a_fill():
+    s = ShadowMemory(SPACE, copy_mode=True)
+    old_line, new_line = 7, NM_SLOTS + 7
+    slot = 7
+    s.apply([fm_op(old_line), Op(Level.NM, slot * SUBBLOCK_BYTES, 72, True)])
+    assert s.location(NM_SLOTS + old_line) == (Level.NM, slot)
+    # miss on new_line: dirty victim written back to FM, new line filled
+    s.apply([
+        Op(Level.NM, slot * SUBBLOCK_BYTES, 72, False),  # tag probe
+        fm_op(new_line),                                 # fill read
+        fm_op(old_line, write=True),                     # victim writeback
+        Op(Level.NM, slot * SUBBLOCK_BYTES, 72, True),   # install
+    ])
+    assert s.location(NM_SLOTS + new_line) == (Level.NM, slot)
+    assert s.location(NM_SLOTS + old_line) == (Level.FM, old_line)
+
+
+def test_copy_mode_in_place_writeback_keeps_the_copy():
+    s = ShadowMemory(SPACE, copy_mode=True)
+    s.apply([fm_op(3), Op(Level.NM, 3 * SUBBLOCK_BYTES, 72, True)])
+    s.apply([nm_op(3, write=True)])  # LLC writeback to the cached copy
+    assert s.location(NM_SLOTS + 3) == (Level.NM, 3)
+
+
+def test_copy_mode_ambiguous_fill_is_a_violation():
+    s = ShadowMemory(SPACE, copy_mode=True)
+    with pytest.raises(ShadowViolation):
+        s.apply([fm_op(3), fm_op(NM_SLOTS + 3), nm_op(3, write=True)])
+
+
+def test_copy_mode_rejects_nm_native_ids():
+    s = ShadowMemory(SPACE, copy_mode=True)
+    with pytest.raises(ValueError):
+        s.location(0)
