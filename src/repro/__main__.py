@@ -8,8 +8,9 @@ Commands
 ``figure``   regenerate one paper figure (parallel, resumable)
 ``schemes``  list the registered schemes
 ``suite``    list the Table III benchmarks and their parameters
-``trace``    generate a workload trace file for external tools
+``trace``    workload trace file, or (``--scheme``) a Chrome event trace
 ``report``   regenerate EXPERIMENTS.md (the full evaluation grid)
+``bench``    timed perf-regression suite -> ``BENCH_<date>.json``
 
 ``compare``, ``figure`` and ``report`` fan their (scheme x workload)
 cells out over ``--jobs N`` worker processes and memoise each cell in an
@@ -17,12 +18,21 @@ on-disk result cache (``--cache-dir``, default ``results/cache``), so an
 interrupted sweep resumes where it stopped; ``--force`` re-simulates,
 ``--no-cache`` disables persistence.
 
+``run``, ``compare`` and ``figure`` accept ``--telemetry`` (and
+``--telemetry-window N``) to record windowed time-series samples and a
+Chrome-format event trace per simulation; ``run`` writes the artifacts
+to ``results/telemetry/``, the cached commands store them next to each
+cell's cache entry.  The window is part of the cell hash, so telemetry
+runs never collide with plain ones in the cache.
+
 Examples::
 
-    python -m repro run silc mcf --misses 5000
+    python -m repro run silc mcf --misses 5000 --telemetry
     python -m repro compare mcf --schemes cam pom silc --jobs 4
     python -m repro figure fig7 --jobs 8 --misses 6000
     python -m repro trace lbm /tmp/lbm.trc --misses 20000
+    python -m repro trace mcf /tmp/mcf.json --scheme silc   # Perfetto
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from repro.experiments.executor import (
 )
 from repro.experiments.runner import SCHEMES, run_one
 from repro.sim.config import default_config
+from repro.telemetry import DEFAULT_TELEMETRY_WINDOW, write_artifacts
 from repro.validate import DEFAULT_CHECK_EVERY
 from repro.stats.report import bar_chart, format_table
 from repro.workloads.io import save_trace
@@ -75,6 +86,17 @@ def _add_check_flags(sub_parser: argparse.ArgumentParser) -> None:
              f"default {DEFAULT_CHECK_EVERY})")
 
 
+def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record windowed time-series samples and a Chrome event"
+             " trace for every simulation")
+    sub_parser.add_argument(
+        "--telemetry-window", type=int, default=None, metavar="CYCLES",
+        help="sampling window in CPU cycles (implies --telemetry; "
+             f"default {DEFAULT_TELEMETRY_WINDOW})")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,7 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--scale", type=float, default=None,
                        help="memory capacity scale factor")
+    run_p.add_argument("--telemetry-out", default=os.path.join(
+        "results", "telemetry"), metavar="DIR",
+        help="artifact directory for --telemetry runs "
+             "(default results/telemetry)")
     _add_check_flags(run_p)
+    _add_telemetry_flags(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a benchmark")
     cmp_p.add_argument("benchmark", choices=BENCHMARKS)
@@ -100,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seed", type=int, default=None)
     cmp_p.add_argument("--scale", type=float, default=None)
     _add_check_flags(cmp_p)
+    _add_telemetry_flags(cmp_p)
     _add_executor_flags(cmp_p)
 
     fig_p = sub.add_parser(
@@ -113,16 +141,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=BENCHMARKS,
                        help="subset of the Table III suite (default: all)")
     _add_check_flags(fig_p)
+    _add_telemetry_flags(fig_p)
     _add_executor_flags(fig_p)
 
     sub.add_parser("schemes", help="list registered schemes")
     sub.add_parser("suite", help="list the Table III benchmark presets")
 
-    trace_p = sub.add_parser("trace", help="write a trace file")
+    trace_p = sub.add_parser(
+        "trace", help="write a workload trace file, or (with --scheme) a"
+                      " Chrome-format event trace of a simulated run")
     trace_p.add_argument("benchmark", choices=BENCHMARKS)
     trace_p.add_argument("path")
     trace_p.add_argument("--misses", type=int, default=20_000)
     trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument(
+        "--scheme", choices=sorted(SCHEMES), default=None,
+        help="simulate this scheme with telemetry and write the run's"
+             " Chrome event trace (open in Perfetto / chrome://tracing)"
+             " instead of a workload trace file")
+    trace_p.add_argument(
+        "--telemetry-window", type=int, default=None, metavar="CYCLES",
+        help="sampling window for --scheme traces "
+             f"(default {DEFAULT_TELEMETRY_WINDOW})")
 
     report_p = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (runs the full grid)")
@@ -130,6 +170,15 @@ def _build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--misses", type=int, default=5000)
     _add_check_flags(report_p)
     _add_executor_flags(report_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="timed perf-regression suite -> BENCH_<date>.json")
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized subset (baseline + silc on mcf)")
+    bench_p.add_argument(
+        "--out-dir", default="results", metavar="DIR",
+        help="where BENCH_<date>.json lands (default results/)")
     return parser
 
 
@@ -144,9 +193,23 @@ def _with_check(config, args):
     return dataclasses.replace(config, check_interval=interval)
 
 
+def _with_telemetry(config, args):
+    """Fold ``--telemetry`` / ``--telemetry-window`` into a config."""
+    window = getattr(args, "telemetry_window", None)
+    if not getattr(args, "telemetry", False) and window is None:
+        return config
+    if window is None:
+        window = DEFAULT_TELEMETRY_WINDOW
+    if window <= 0:
+        raise SystemExit("--telemetry-window must be a positive cycle count")
+    return dataclasses.replace(config, telemetry_window=window)
+
+
 def _config(scale: Optional[float], args=None):
     config = default_config() if scale is None else default_config(scale=scale)
-    return config if args is None else _with_check(config, args)
+    if args is not None:
+        config = _with_telemetry(_with_check(config, args), args)
+    return config
 
 
 def _print_progress(progress: Progress) -> None:
@@ -189,6 +252,15 @@ def _cmd_run(args) -> int:
     ]
     print(format_table(["metric", "value"], rows,
                        title=f"{SCHEMES[args.scheme].label} on {args.benchmark}"))
+    if result.telemetry is not None:
+        snap = result.telemetry
+        series, trace = write_artifacts(
+            args.telemetry_out, f"{args.scheme}-{args.benchmark}", snap)
+        print(f"telemetry: {len(snap['samples'])} samples "
+              f"({snap['spilled_samples']} spilled), "
+              f"{len(snap['events'])} trace events "
+              f"({snap['dropped_events']} dropped)")
+        print(f"  series: {series}\n  trace:  {trace}  (open in Perfetto)")
     return 0
 
 
@@ -292,10 +364,44 @@ def _cmd_report(args) -> int:
 
 def _cmd_trace(args) -> int:
     config = default_config()
+    if args.scheme is not None:
+        from repro.telemetry import write_trace
+
+        window = args.telemetry_window or DEFAULT_TELEMETRY_WINDOW
+        if window <= 0:
+            raise SystemExit(
+                "--telemetry-window must be a positive cycle count")
+        config = dataclasses.replace(config, telemetry_window=window)
+        result = run_one(args.scheme, args.benchmark, config,
+                         misses_per_core=args.misses, seed=args.seed)
+        snap = result.telemetry
+        write_trace(args.path, snap)
+        print(f"wrote {len(snap['events'])} trace events "
+              f"({snap['dropped_events']} dropped) to {args.path}; "
+              "open in Perfetto or chrome://tracing")
+        return 0
     spec = per_core_spec(args.benchmark, config)
     model = WorkloadModel(spec, seed=args.seed)
     count = save_trace(args.path, model.miss_stream(args.misses))
     print(f"wrote {count} records to {args.path}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import run_bench, write_bench
+
+    payload = run_bench(quick=args.quick)
+    path = write_bench(payload, args.out_dir)
+    throughput = payload["throughput"]
+    print(format_table(
+        ["scheme", "workload", "wall s", "accesses/s"],
+        [[c["scheme"], c["workload"], f"{c['wall_seconds']:.2f}",
+          f"{c['accesses_per_sec']:,.0f}"] for c in payload["cells"]],
+        title=f"bench ({'quick' if args.quick else 'full'})"))
+    print(f"total: {throughput['total_accesses']:,} accesses in "
+          f"{throughput['total_wall_seconds']:.2f}s "
+          f"({throughput['accesses_per_sec']:,.0f}/s)")
+    print(f"wrote {path}")
     return 0
 
 
@@ -309,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -127,6 +127,56 @@ class SilcFmScheme(MemoryScheme):
         if self.monitor.tick() and self.config.enable_locking:
             self._release_stale_locks()
 
+    # ------------------------------------------------------------------
+    # telemetry (pull-based probes + event hooks)
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, hub) -> None:
+        """Register SILC-FM's feature-level signals.
+
+        Meters cover the ablatable mechanisms (Fig. 6): swap/restore
+        churn, locking, batch fetch and bypass.  Gauges expose the
+        balancer's windowed access rate, predictor accuracy and the
+        metadata-cache hit rate.  Bypass-mode flips additionally emit
+        instant trace events via the balancer's transition observer —
+        the time-domain signal Section III-E's feedback loop produces.
+        """
+        super().attach_telemetry(hub)
+        hub.meter("silcfm.installs", lambda: self.installs)
+        hub.meter("silcfm.restores", lambda: self.restores)
+        hub.meter("silcfm.locks_acquired", lambda: self.locks_acquired)
+        hub.meter("silcfm.locks_released", lambda: self.locks_released)
+        hub.meter("silcfm.all_locked_fallbacks",
+                  lambda: self.all_locked_fallbacks)
+        hub.meter("silcfm.batch_fetched_subblocks",
+                  lambda: self.batch_fetched_subblocks)
+        hub.meter("silcfm.bypassed_accesses",
+                  lambda: self.balancer.bypassed_accesses)
+        hub.meter("silcfm.bypass_transitions",
+                  lambda: self.balancer.transitions)
+        hub.gauge("silcfm.bypassing",
+                  lambda: float(self.balancer.bypassing), trace=True)
+        hub.gauge("silcfm.window_access_rate",
+                  lambda: self.balancer.current_rate(), trace=True)
+        hub.gauge("silcfm.lifetime_nm_fraction",
+                  lambda: self.balancer.lifetime_rate)
+        hub.gauge("silcfm.locked_frames",
+                  lambda: float(self.locked_frames), trace=True)
+        hub.gauge("silcfm.predictor_way_accuracy",
+                  lambda: self.predictor.way_accuracy)
+        hub.gauge("silcfm.predictor_location_accuracy",
+                  lambda: self.predictor.location_accuracy)
+        hub.gauge("silcfm.meta_cache_hit_rate", lambda: (
+            self.meta_cache_hits /
+            (self.meta_cache_hits + self.meta_cache_misses)
+            if self.meta_cache_hits + self.meta_cache_misses else 0.0))
+        self.balancer.on_transition = self._on_bypass_transition
+
+    def _on_bypass_transition(self, bypassing: bool, rate: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "bypass-on" if bypassing else "bypass-off",
+                cat="bypass", window_rate=round(rate, 4))
+
     def locate(self, paddr: int) -> Tuple[Level, int]:
         within = paddr % SUBBLOCK_BYTES
         index = self.space.subblock_index(paddr)
@@ -259,6 +309,9 @@ class SilcFmScheme(MemoryScheme):
             frame.first_addr = paddr
         frame.set_bit(index)
         self.stats.subblock_swaps += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("swap-in", cat="swap",
+                                   way=way, block=block, index=index)
         return [
             self._nm_sub_op(way, index),                      # native out
             self._nm_sub_op(way, index, is_write=True),       # FM data in
@@ -281,6 +334,9 @@ class SilcFmScheme(MemoryScheme):
                 self.history.save(frame.first_pc, frame.first_addr, footprint)
             self._forget_remap(way)
         self.stats.subblock_swaps += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("swap-back", cat="swap",
+                                   way=way, block=block, index=index)
         return [
             self._nm_sub_op(way, index),                      # partner out
             self._nm_sub_op(way, index, is_write=True),       # native back in
@@ -321,6 +377,9 @@ class SilcFmScheme(MemoryScheme):
         frame.fm_count = 1
         self._frame_of_block[block] = way
         self.installs += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("install", cat="swap", way=way,
+                                   block=block, fetch_vec=fetch_vec)
         ops: List[Op] = []
         for j in range(SUBBLOCKS_PER_BLOCK):
             if not fetch_vec >> j & 1:
@@ -378,6 +437,10 @@ class SilcFmScheme(MemoryScheme):
         )
         frame.lock("fm")
         self.locks_acquired += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("lock", cat="lock", way=way,
+                                   owner="fm", block=block,
+                                   fetched=len(pending))
 
     def _maybe_lock_nm(self, frame_idx: int) -> None:
         """Pin a hot native page: restore any interleaving, then lock so
@@ -391,6 +454,9 @@ class SilcFmScheme(MemoryScheme):
             self._pending_lock_ops.extend(self._restore(frame_idx))
         frame.lock("nm")
         self.locks_acquired += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("lock", cat="lock", way=frame_idx,
+                                   owner="nm")
 
     def _drain_lock_ops(self) -> List[Op]:
         ops, self._pending_lock_ops = self._pending_lock_ops, []
@@ -403,10 +469,14 @@ class SilcFmScheme(MemoryScheme):
         incrementally."""
         for way in self.monitor.stale_locks():
             frame = self.frames[way]
-            if frame.lock_owner == "fm":
+            owner = frame.lock_owner
+            if owner == "fm":
                 frame.bitvec = FULL_BITVEC
             frame.unlock()
             self.locks_released += 1
+            if self.telemetry is not None:
+                self.telemetry.instant("unlock", cat="lock", way=way,
+                                       owner=owner)
 
     # ------------------------------------------------------------------
     # victim choice (associativity, Section III-C)

@@ -87,6 +87,27 @@ class FlatMemoryController:
             engine.schedule(period, self._run_epoch, period)
 
     # ------------------------------------------------------------------
+    def attach_telemetry(self, hub) -> None:
+        """Demand/background byte-split meters plus the latency gauge.
+
+        All closures read counters ``_account`` already maintains; the
+        service-time signal is the same data Fig. 8 aggregates, but
+        windowed so phase changes are visible.
+        """
+        stats = self.stats  # warmup reset keeps the object identity
+        hub.meter("ctrl.demand_nm_bytes", lambda: stats.demand_nm_bytes)
+        hub.meter("ctrl.demand_fm_bytes", lambda: stats.demand_fm_bytes)
+        hub.meter("ctrl.background_nm_bytes",
+                  lambda: stats.background_nm_bytes)
+        hub.meter("ctrl.background_fm_bytes",
+                  lambda: stats.background_fm_bytes)
+        hub.meter("ctrl.writebacks", lambda: stats.writebacks)
+        hub.meter("ctrl.misses_completed", lambda: stats.misses_completed)
+        hub.gauge("ctrl.nm_demand_fraction",
+                  lambda: stats.nm_demand_fraction, trace=True)
+        hub.gauge("ctrl.mean_miss_latency", lambda: stats.mean_miss_latency)
+
+    # ------------------------------------------------------------------
     def handle_miss(self, paddr: int, is_write: bool, pc: int,
                     on_done: Callable[[float], None]) -> None:
         """Service one LLC miss; ``on_done(time)`` fires at completion."""

@@ -30,6 +30,7 @@ from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.schemes.base import MemoryScheme, SchemeStats
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine, SimulationError
+from repro.telemetry import Telemetry
 from repro.workloads.model import WorkloadModel, WorkloadSpec
 from repro.xmem.address import AddressSpace
 from repro.xmem.translation import FrameAllocator, PageTable
@@ -56,6 +57,11 @@ class RunResult:
     energy: EnergyBreakdown
     edp: float
     extras: Dict[str, float] = field(default_factory=dict)
+    #: telemetry snapshot (:meth:`Telemetry.snapshot`) when the run had
+    #: ``telemetry_window > 0``; None otherwise.  Omitted entirely from
+    #: the JSON round-trip when None so disabled-mode cache entries stay
+    #: bit-identical to pre-telemetry ones.
+    telemetry: Optional[Dict] = None
 
     @property
     def access_rate(self) -> float:
@@ -84,7 +90,7 @@ class RunResult:
         bit-identically)."""
         import dataclasses
 
-        return {
+        data = {
             "scheme_name": self.scheme_name,
             "workload_name": self.workload_name,
             "elapsed_cycles": self.elapsed_cycles,
@@ -97,6 +103,9 @@ class RunResult:
             "edp": self.edp,
             "extras": dict(self.extras),
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
@@ -112,6 +121,7 @@ class RunResult:
             energy=EnergyBreakdown(**data["energy"]),
             edp=data["edp"],
             extras=dict(data["extras"]),
+            telemetry=data.get("telemetry"),
         )
 
 
@@ -195,6 +205,46 @@ class System:
             )
             self.cores.append(core)
 
+        self.telemetry: Optional[Telemetry] = None
+        if config.telemetry_window > 0:
+            self._setup_telemetry()
+
+    # ------------------------------------------------------------------
+    def _setup_telemetry(self) -> None:
+        """Build the hub and register every component's probes.
+
+        All probes are pull-based closures over counters the components
+        already maintain, so the only simulation-visible change is the
+        periodic sampler event — which reads state and never mutates it,
+        keeping the figures of merit identical to an unsampled run.
+        """
+        hub = Telemetry(
+            window_cycles=self.config.telemetry_window,
+            cycles_per_us=self.config.core.frequency_ghz * 1000.0,
+        )
+        self.telemetry = hub
+        self.scheme.attach_telemetry(hub)
+        self.controller.attach_telemetry(hub)
+        self.nm_device.attach_telemetry(hub)
+        self.fm_device.attach_telemetry(hub)
+        if self.oracle is not None:
+            self.oracle.attach_telemetry(hub)
+        cores = self.cores
+        hub.meter("cpu.instructions",
+                  lambda: sum(c.stats.instructions for c in cores))
+        hub.meter("cpu.llc_misses",
+                  lambda: sum(c.stats.misses_issued for c in cores))
+        hub.meter("cpu.misses_retired",
+                  lambda: sum(c.stats.misses_retired for c in cores))
+        hub.meter("cpu.stall_events",
+                  lambda: sum(c.stats.stall_events for c in cores))
+        hub.gauge("cpu.finished_cores",
+                  lambda: float(sum(c.finished for c in cores)))
+        # sampler stops with the cores so it cannot keep a drained
+        # simulation alive (or mask a lost-completion-callback bug)
+        hub.attach(self.engine,
+                   while_=lambda: self._finished < len(self.cores))
+
     # ------------------------------------------------------------------
     def _classify(self, paddr: int, is_write: bool, core_id: int) -> HierarchyOutcome:
         return self.hierarchy.access(core_id, paddr, is_write)
@@ -238,6 +288,10 @@ class System:
         if self.oracle is not None:
             # end-of-run bijection proof: every subblock accounted for.
             self.oracle.full_check()
+        if self.telemetry is not None:
+            # capture the partial final window (the periodic sampler
+            # stopped when the last core finished)
+            self.telemetry.sample_now()
         return self._result(elapsed)
 
     def _result(self, elapsed: float) -> RunResult:
@@ -269,4 +323,6 @@ class System:
             energy=energy,
             edp=edp,
             extras=extras,
+            telemetry=(self.telemetry.snapshot()
+                       if self.telemetry is not None else None),
         )

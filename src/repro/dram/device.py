@@ -129,6 +129,32 @@ class MemoryDevice:
         return chunks
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, hub) -> None:
+        """Per-channel probes: instantaneous queue depth (gauge) and
+        bus-busy cycles (meter — the per-window delta divided by the
+        sample's ``dt`` is that window's bus utilisation).  Device-level
+        byte meters summarise the split the channels share.
+        """
+        def probe_channel(label: str, channel: Channel) -> None:
+            hub.gauge(f"{label}.queue_depth",
+                      lambda: float(channel.queue_depth), trace=True)
+            hub.meter(f"{label}.busy_cycles",
+                      lambda: channel.stats.bus_busy_cycles)
+            hub.meter(f"{label}.bytes",
+                      lambda: channel.stats.bytes_total)
+
+        for i, channel in enumerate(self.channels):
+            probe_channel(f"{self.name}.ch{i}", channel)
+        if self.meta_channel is not None:
+            probe_channel(f"{self.name}.meta", self.meta_channel)
+        hub.meter(f"{self.name}.demand_bytes",
+                  lambda: sum(c.stats.demand_bytes for c in self.channels))
+        hub.meter(f"{self.name}.background_bytes",
+                  lambda: sum(c.stats.background_bytes for c in self.channels))
+
+    # ------------------------------------------------------------------
     # aggregate statistics
     # ------------------------------------------------------------------
     def stats(self) -> ChannelStats:

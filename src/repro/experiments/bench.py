@@ -1,0 +1,149 @@
+"""Perf-regression bench harness: ``python -m repro bench``.
+
+Runs a pinned (scheme x workload) set through the simulator, timing the
+**wall clock** of each cell, and writes a schema-versioned
+``BENCH_<date>.json`` so successive checkouts can be compared: a
+simulator change that slows the hot path shows up as a drop in
+``accesses_per_sec`` long before anyone notices interactive sluggishness,
+and a change that shifts the *headline figures of merit* (speedups over
+the no-NM baseline) shows up in ``figures_of_merit`` even when all
+functional tests still pass.
+
+The workload set is pinned (fixed schemes, workloads, miss counts and
+seed) precisely so the numbers are comparable across runs; scale knobs
+change the *machine*, not the benchmark definition.  Cells run serially
+in-process — parallel workers would share cores and turn wall-clock
+timing into noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.sim.config import SystemConfig, default_config
+from repro.stats.collectors import geometric_mean
+
+#: bump when the BENCH_*.json layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: pinned seed — throughput comparisons need identical event streams.
+BENCH_SEED = 1234
+
+#: the full suite: the paper's main comparison points on three
+#: memory-behaviour extremes (latency-bound mcf, low-locality milc,
+#: streaming lbm).
+FULL_SCHEMES = ["nonm", "cam", "pom", "silc"]
+FULL_WORKLOADS = ["mcf", "milc", "lbm"]
+FULL_MISSES = 4000
+
+#: the quick suite (CI-sized): baseline + the paper scheme on one
+#: workload.
+QUICK_SCHEMES = ["nonm", "silc"]
+QUICK_WORKLOADS = ["mcf"]
+QUICK_MISSES = 1500
+
+
+@dataclass
+class BenchCell:
+    """Timing + headline figures for one (scheme, workload) run."""
+
+    scheme: str
+    workload: str
+    misses_per_core: int
+    wall_seconds: float
+    accesses: int
+    accesses_per_sec: float
+    elapsed_cycles: float
+    access_rate: float
+
+    def to_dict(self) -> Dict:
+        return dict(self.__dict__)
+
+
+def run_bench(quick: bool = False,
+              config: Optional[SystemConfig] = None,
+              today: Optional[str] = None) -> Dict:
+    """Run the pinned set; returns the ``BENCH_*.json`` payload."""
+    from repro.experiments.runner import run_one
+
+    schemes = QUICK_SCHEMES if quick else FULL_SCHEMES
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    misses = QUICK_MISSES if quick else FULL_MISSES
+    config = config or default_config()
+
+    cells: List[BenchCell] = []
+    results: Dict[tuple, object] = {}
+    for workload in workloads:
+        for scheme in schemes:
+            start = time.perf_counter()
+            result = run_one(scheme, workload, config,
+                             misses_per_core=misses, seed=BENCH_SEED)
+            wall = time.perf_counter() - start
+            results[(scheme, workload)] = result
+            accesses = misses * config.cores
+            cells.append(BenchCell(
+                scheme=scheme,
+                workload=workload,
+                misses_per_core=misses,
+                wall_seconds=round(wall, 4),
+                accesses=accesses,
+                accesses_per_sec=round(accesses / wall, 1) if wall else 0.0,
+                elapsed_cycles=result.elapsed_cycles,
+                access_rate=round(result.access_rate, 4),
+            ))
+
+    # headline figures of merit: per-workload speedups over the no-NM
+    # baseline, plus each scheme's geomean — the numbers Figs. 6/7 plot.
+    speedups: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        if scheme == "nonm":
+            continue
+        per_wl = {
+            wl: round(results[(scheme, wl)].speedup_over(
+                results[("nonm", wl)]), 4)
+            for wl in workloads
+        }
+        per_wl["geomean"] = round(geometric_mean(list(per_wl.values())), 4)
+        speedups[scheme] = per_wl
+
+    total_wall = sum(c.wall_seconds for c in cells)
+    total_accesses = sum(c.accesses for c in cells)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "date": today or time.strftime("%Y-%m-%d"),
+        "quick": quick,
+        "seed": BENCH_SEED,
+        "platform": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "cells": [c.to_dict() for c in cells],
+        "throughput": {
+            "total_wall_seconds": round(total_wall, 4),
+            "total_accesses": total_accesses,
+            "accesses_per_sec": (round(total_accesses / total_wall, 1)
+                                 if total_wall else 0.0),
+        },
+        "figures_of_merit": {"speedup_over_nonm": speedups},
+    }
+
+
+def write_bench(payload: Dict,
+                out_dir: Union[str, Path] = "results") -> Path:
+    """Write ``BENCH_<date>.json`` (one file per calendar day; a rerun
+    the same day overwrites — the latest numbers win)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{payload['date']}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -125,6 +125,14 @@ class ResultCache:
     Files are written atomically (tmp + rename) so a crash mid-write
     never leaves a half-result that poisons the next resume; unreadable
     or schema-mismatched files are treated as misses.
+
+    Telemetry-enabled results additionally get **side artifacts** —
+    ``telemetry/<cell-hash>.series.json`` (the windowed time series) and
+    ``telemetry/<cell-hash>.trace.json`` (Chrome trace, loadable in
+    Perfetto) — in a subdirectory so the main store's ``*.json`` glob
+    semantics are untouched.  The telemetry window is part of the
+    config, hence of the cell hash: enabled and disabled runs of the
+    same experiment never share a cache entry.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
@@ -132,6 +140,9 @@ class ResultCache:
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    def telemetry_dir(self) -> Path:
+        return self.root / "telemetry"
 
     def load(self, key: str) -> Optional[RunResult]:
         path = self.path(key)
@@ -164,9 +175,19 @@ class ResultCache:
         with open(tmp, "w") as fh:
             json.dump(data, fh, sort_keys=True)
         os.replace(tmp, path)
+        if result.telemetry is not None:
+            from repro.telemetry import write_artifacts
+
+            write_artifacts(self.telemetry_dir(), key, result.telemetry)
         return path
 
     def discard(self, key: str) -> bool:
+        for side in (self.telemetry_dir() / f"{key}.series.json",
+                     self.telemetry_dir() / f"{key}.trace.json"):
+            try:
+                os.remove(side)
+            except OSError:
+                pass
         try:
             os.remove(self.path(key))
             return True
@@ -180,6 +201,12 @@ class ResultCache:
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+        if self.telemetry_dir().is_dir():
+            for path in self.telemetry_dir().glob("*.json"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

@@ -111,6 +111,15 @@ class AlloyCacheScheme(MemoryScheme):
             return Level.NM, slot * SUBBLOCK_BYTES + offset % SUBBLOCK_BYTES
         return Level.FM, offset
 
+    def attach_telemetry(self, hub) -> None:
+        """A cache's story is its hit rate and writeback pressure; the
+        part-of-memory swap/migration meters from the base stay at zero
+        by construction."""
+        super().attach_telemetry(hub)
+        hub.gauge("alloy.hit_rate", lambda: self.hit_rate, trace=True)
+        hub.meter("alloy.dirty_writebacks", lambda: self.dirty_writebacks)
+        hub.gauge("alloy.occupied_slots", lambda: float(len(self._slot)))
+
     def check_invariants(self) -> None:
         """Tag-array consistency: every cached line maps to the slot it
         occupies and names a real FM line."""

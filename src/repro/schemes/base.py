@@ -121,6 +121,10 @@ class MemoryScheme(abc.ABC):
     #: exactly one slot).  Cache-style schemes (Alloy) set this False:
     #: FM is always the home and NM holds copies.
     bijective: bool = True
+    #: telemetry hub (:mod:`repro.telemetry`), set by
+    #: :meth:`attach_telemetry`; None in normal runs, so event probes in
+    #: subclasses reduce to one ``is None`` check on the hot path.
+    telemetry = None
 
     def __init__(self, space: AddressSpace) -> None:
         self.space = space
@@ -176,6 +180,27 @@ class MemoryScheme(abc.ABC):
         """Raise :class:`InvariantViolation` unless ``condition``."""
         if not condition:
             raise InvariantViolation(f"{self.name}: {message}")
+
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, hub) -> None:
+        """Register this scheme's signals with a telemetry hub.
+
+        The base registers the counters every scheme maintains through
+        ``record_plan`` (miss/service split, swap and migration rates);
+        subclasses extend with their mechanism-specific probes and event
+        hooks.  All probes are *pull*-based — registration stores a
+        closure over counters the scheme already updates, so enabling
+        telemetry adds no per-access work here.
+        """
+        self.telemetry = hub
+        stats = self.stats  # warmup reset keeps the object identity
+        hub.meter("scheme.misses", lambda: stats.misses)
+        hub.meter("scheme.nm_serviced", lambda: stats.nm_serviced)
+        hub.meter("scheme.fm_serviced", lambda: stats.fm_serviced)
+        hub.meter("scheme.bypassed", lambda: stats.bypassed)
+        hub.meter("scheme.subblock_swaps", lambda: stats.subblock_swaps)
+        hub.meter("scheme.block_migrations", lambda: stats.block_migrations)
+        hub.gauge("scheme.access_rate", lambda: stats.access_rate, trace=True)
 
     # ------------------------------------------------------------------
     def record_plan(self, plan: AccessPlan) -> None:

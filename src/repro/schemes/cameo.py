@@ -106,6 +106,14 @@ class CameoScheme(MemoryScheme):
             raise ValueError(f"subblock {subblock} is an NM home, not FM")
         return offset
 
+    def attach_telemetry(self, hub) -> None:
+        """CAMEO's swap traffic is already metered by the base; add the
+        displacement pressure (how many lines live away from home) —
+        the conflict-miss signal the paper's Section II-B critique of
+        direct mapping is about."""
+        super().attach_telemetry(hub)
+        hub.gauge("cameo.displaced_lines", lambda: float(len(self._home_of)))
+
     def check_invariants(self) -> None:
         """Congruence-group bookkeeping consistency: every slot holds a
         member of its own group, and the displaced-member map never

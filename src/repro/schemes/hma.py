@@ -97,6 +97,16 @@ class HmaScheme(MemoryScheme):
         self.record_plan(plan)
         return plan
 
+    def attach_telemetry(self, hub) -> None:
+        """Epoch-level probes: migration burstiness is HMA's defining
+        time-domain behaviour (all movement clusters at epoch
+        boundaries), so the per-window migration meter plus the epoch
+        instant events make Fig.-8-style phase plots possible."""
+        super().attach_telemetry(hub)
+        hub.meter("hma.epochs", lambda: self.epochs_run)
+        hub.meter("hma.pages_migrated", lambda: self.pages_migrated)
+        hub.gauge("hma.tracked_pages", lambda: float(len(self._counts)))
+
     # ------------------------------------------------------------------
     # epoch machinery
     # ------------------------------------------------------------------
@@ -143,6 +153,9 @@ class HmaScheme(MemoryScheme):
             if count >> 1 > 0
         }
         stall = EPOCH_BASE_OS_CYCLES + PER_PAGE_OS_CYCLES * migrated
+        if self.telemetry is not None:
+            self.telemetry.instant("hma-epoch", cat="epoch",
+                                   migrated=migrated, stall_cycles=stall)
         return ops, stall
 
     def _swap_into_frame(self, frame: int, block: int) -> List[Op]:

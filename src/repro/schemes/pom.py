@@ -155,6 +155,19 @@ class PomScheme(MemoryScheme):
             raise ValueError(f"block {block} is an NM home, not FM")
         return offset
 
+    def attach_telemetry(self, hub) -> None:
+        """PoM's costs are migration bandwidth (base block_migrations
+        meter) and remap-cache misses on the critical path — expose the
+        hit rate plus the counter-table population (how many blocks are
+        accumulating toward the migration threshold)."""
+        super().attach_telemetry(hub)
+        hub.meter("pom.remap_cache_misses", lambda: self.remap_cache_misses)
+        hub.gauge("pom.remap_cache_hit_rate", lambda: (
+            self.remap_cache_hits /
+            (self.remap_cache_hits + self.remap_cache_misses)
+            if self.remap_cache_hits + self.remap_cache_misses else 0.0))
+        hub.gauge("pom.competing_blocks", lambda: float(len(self._counters)))
+
     def check_invariants(self) -> None:
         """Direct-mapped block bookkeeping: every frame holds a block of
         its own congruence class, displaced homes are unique FM blocks,

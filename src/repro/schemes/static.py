@@ -45,6 +45,16 @@ class StaticScheme(MemoryScheme):
             return Level.NM, self.space.nm_offset(paddr)
         return Level.FM, self.space.fm_offset(paddr)
 
+    def attach_telemetry(self, hub) -> None:
+        """Static placement moves nothing, so beyond the base signals
+        only the placement split itself is interesting: the NM service
+        share of a static scheme is purely the OS frame allocator's
+        doing (``fm_only`` pins it at 0, ``random`` at ~NM/total)."""
+        super().attach_telemetry(hub)
+        hub.gauge("static.nm_service_share",
+                  lambda: (self.stats.nm_serviced / self.stats.misses
+                           if self.stats.misses else 0.0))
+
     def check_invariants(self) -> None:
         """The identity mapping carries no mutable metadata; verify the
         address-space split itself is coherent (the oracle's shadow

@@ -136,6 +136,14 @@ class SystemConfig:
     #: whole-space bijection scan every N misses.  Observation only —
     #: the simulated figures of merit are unchanged.
     check_interval: int = 0
+    #: Telemetry sampling window, in CPU cycles.  0 (default) disables
+    #: telemetry entirely (no hub is built, hot paths pay nothing);
+    #: N > 0 attaches a :class:`repro.telemetry.Telemetry` hub to the
+    #: run and samples every registered probe each N cycles.  Like the
+    #: oracle, telemetry is pure observation — the simulated figures of
+    #: merit are unchanged — and because the field is part of this
+    #: config it participates in the experiment executor's cache key.
+    telemetry_window: int = 0
 
     def __post_init__(self) -> None:
         if self.nm_bytes % BLOCK_BYTES:
@@ -146,6 +154,8 @@ class SystemConfig:
             raise ValueError("far memory must be at least as large as near memory")
         if self.check_interval < 0:
             raise ValueError("check_interval must be >= 0")
+        if self.telemetry_window < 0:
+            raise ValueError("telemetry_window must be >= 0")
 
     # ------------------------------------------------------------------
     # derived quantities

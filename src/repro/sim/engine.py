@@ -61,6 +61,33 @@ class Engine:
         heapq.heappush(self._queue, (when, self._seq, fn, args))
         self._seq += 1
 
+    def schedule_every(self, period: float, fn: Callable[[], None],
+                       while_: Optional[Callable[[], bool]] = None) -> None:
+        """Run ``fn()`` every ``period`` cycles (first firing one period
+        from now) — the periodic-observer primitive the telemetry
+        sampler uses.
+
+        The chain self-limits in two ways so a pure observer can never
+        keep a simulation alive or mask a drained queue:
+
+        * when ``while_`` is given and returns False, the tick returns
+          without running ``fn`` or rescheduling;
+        * when, at tick dispatch, no *other* events are queued, ``fn``
+          runs one final time and the chain ends (a lone periodic
+          observer means the simulation proper is over).
+        """
+        if period <= 0:
+            raise SimulationError("periodic tasks need a positive period")
+
+        def tick() -> None:
+            if while_ is not None and not while_():
+                return
+            fn()
+            if self._queue:
+                self.schedule(period, tick)
+
+        self.schedule(period, tick)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

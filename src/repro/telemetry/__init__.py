@@ -1,0 +1,47 @@
+"""Probe-based observability for the simulator (see docs/telemetry.md).
+
+Public surface:
+
+* :class:`Telemetry` — the hub components publish counters/gauges/
+  meters into; samples them on a cycle window into a ring-buffered,
+  spillable time series.
+* :class:`EventTracer` / :func:`validate_chrome_trace` — Chrome-trace
+  event collection and validation (Perfetto-loadable).
+* :func:`write_artifacts` / :func:`write_series` / :func:`write_trace`
+  — the ``.series.json`` / ``.trace.json`` files the CLI and the
+  experiment executor emit.
+
+Enable per run with ``SystemConfig.telemetry_window > 0`` (CLI:
+``--telemetry`` / ``--telemetry-window``); when disabled — the default
+— no hub is constructed and the simulator's hot paths pay nothing.
+"""
+
+from repro.telemetry.artifacts import write_artifacts, write_series, write_trace
+from repro.telemetry.hub import (
+    DEFAULT_RING_CAPACITY,
+    DEFAULT_TELEMETRY_WINDOW,
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+    TimeSeriesRing,
+)
+from repro.telemetry.tracer import (
+    EventTracer,
+    TraceFormatError,
+    chrome_trace_container,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "DEFAULT_TELEMETRY_WINDOW",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
+    "TimeSeriesRing",
+    "EventTracer",
+    "TraceFormatError",
+    "chrome_trace_container",
+    "validate_chrome_trace",
+    "write_artifacts",
+    "write_series",
+    "write_trace",
+]

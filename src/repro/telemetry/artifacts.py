@@ -1,0 +1,60 @@
+"""Telemetry artifact files: the on-disk form of a run's snapshot.
+
+Two files per telemetry-enabled run:
+
+* ``<stem>.series.json`` — the windowed time series (samples, final
+  counters, spill accounting), schema-versioned;
+* ``<stem>.trace.json`` — the Chrome-trace container, loadable in
+  Perfetto / ``chrome://tracing``.
+
+The experiment executor writes them under ``<cache-dir>/telemetry/``
+keyed by the cell's content hash (so artifacts resume/invalidate with
+the result cache); ``repro run`` writes them under
+``results/telemetry/`` named by (scheme, benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.telemetry.tracer import chrome_trace_container
+
+PathLike = Union[str, Path]
+
+
+def write_series(path: PathLike, snapshot: Dict) -> Path:
+    """Write the time-series half of a telemetry snapshot (everything
+    except the trace events)."""
+    path = Path(path)
+    payload = {k: v for k, v in snapshot.items() if k != "events"}
+    _atomic_dump(path, payload)
+    return path
+
+
+def write_trace(path: PathLike, snapshot: Dict) -> Path:
+    """Write the snapshot's events as a Chrome-trace container file."""
+    path = Path(path)
+    _atomic_dump(path, chrome_trace_container(snapshot.get("events", [])))
+    return path
+
+
+def write_artifacts(directory: PathLike, stem: str,
+                    snapshot: Dict) -> Tuple[Path, Path]:
+    """Write both artifact files for one run; returns their paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    series = write_series(directory / f"{stem}.series.json", snapshot)
+    trace = write_trace(directory / f"{stem}.trace.json", snapshot)
+    return series, trace
+
+
+def _atomic_dump(path: Path, payload: Dict) -> None:
+    """tmp + rename, mirroring the executor's crash-safe cache writes."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)

@@ -65,6 +65,16 @@ class ValidationOracle:
         self.full_scans = 0
         self._expected_note: Optional[str] = None
         self._silcfm = isinstance(scheme, SilcFmScheme)
+        #: telemetry hub; None in normal runs (see attach_telemetry).
+        self.telemetry = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Expose checking progress and mark full scans in the trace —
+        an oracle scan between two samples explains a throughput dip
+        (it is wall-clock work, not simulated time)."""
+        self.telemetry = hub
+        hub.meter("oracle.accesses_checked", lambda: self.accesses_checked)
+        hub.meter("oracle.full_scans", lambda: self.full_scans)
 
     # ------------------------------------------------------------------
     # controller hooks
@@ -141,6 +151,10 @@ class ValidationOracle:
         for sid in range(start, self.shadow.nm_slots + self.shadow.fm_slots):
             self._check_locate(sid * SUBBLOCK_BYTES)
         self.full_scans += 1
+        if self.telemetry is not None:
+            self.telemetry.instant("oracle-full-check", cat="oracle",
+                                   scan=self.full_scans,
+                                   accesses_checked=self.accesses_checked)
 
     # ------------------------------------------------------------------
     # SILC-FM Table I row prediction

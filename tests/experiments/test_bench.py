@@ -1,0 +1,76 @@
+"""Tests for the perf-regression bench harness (``repro bench``)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    BENCH_SCHEMA_VERSION,
+    BENCH_SEED,
+    QUICK_SCHEMES,
+    QUICK_WORKLOADS,
+    run_bench,
+    write_bench,
+)
+from repro.sim.config import default_config
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    # small scale keeps the suite fast; the bench definition (schemes,
+    # workloads, misses, seed) stays pinned regardless
+    return run_bench(quick=True, config=default_config(scale=0.25),
+                     today="2026-01-02")
+
+
+def test_payload_schema_and_pinning(quick_payload):
+    assert quick_payload["schema"] == BENCH_SCHEMA_VERSION
+    assert quick_payload["seed"] == BENCH_SEED
+    assert quick_payload["quick"] is True
+    assert quick_payload["date"] == "2026-01-02"
+    assert {"python", "implementation", "machine",
+            "system"} <= set(quick_payload["platform"])
+
+
+def test_payload_has_one_cell_per_pair(quick_payload):
+    cells = quick_payload["cells"]
+    pairs = {(c["scheme"], c["workload"]) for c in cells}
+    assert pairs == {(s, w) for s in QUICK_SCHEMES for w in QUICK_WORKLOADS}
+    for cell in cells:
+        assert cell["wall_seconds"] >= 0.0
+        assert cell["accesses"] > 0
+        assert cell["elapsed_cycles"] > 0
+
+
+def test_payload_throughput_totals(quick_payload):
+    totals = quick_payload["throughput"]
+    cells = quick_payload["cells"]
+    assert totals["total_accesses"] == sum(c["accesses"] for c in cells)
+    assert totals["total_wall_seconds"] == pytest.approx(
+        sum(c["wall_seconds"] for c in cells))
+
+
+def test_payload_figures_of_merit(quick_payload):
+    speedups = quick_payload["figures_of_merit"]["speedup_over_nonm"]
+    # every non-baseline scheme has a per-workload speedup + geomean
+    assert set(speedups) == set(QUICK_SCHEMES) - {"nonm"}
+    for per_wl in speedups.values():
+        assert set(per_wl) == set(QUICK_WORKLOADS) | {"geomean"}
+        for value in per_wl.values():
+            assert value > 0
+
+
+def test_write_bench_names_file_by_date(tmp_path, quick_payload):
+    path = write_bench(quick_payload, out_dir=tmp_path)
+    assert path.name == "BENCH_2026-01-02.json"
+    data = json.loads(path.read_text())
+    assert data == quick_payload
+
+
+def test_write_bench_rerun_overwrites(tmp_path, quick_payload):
+    write_bench(quick_payload, out_dir=tmp_path)
+    changed = dict(quick_payload, schema=BENCH_SCHEMA_VERSION)
+    path = write_bench(changed, out_dir=tmp_path)
+    assert len(list(tmp_path.glob("BENCH_*.json"))) == 1
+    assert json.loads(path.read_text()) == changed

@@ -32,6 +32,47 @@ def make_cell(config, scheme="silc", workload="mcf", **overrides):
 
 
 # ---------------------------------------------------------------------------
+# telemetry side artifacts
+# ---------------------------------------------------------------------------
+def test_telemetry_window_changes_cell_key(config):
+    base = make_cell(config)
+    enabled = make_cell(
+        dataclasses.replace(config, telemetry_window=5000))
+    assert enabled.key() != base.key()
+
+
+def test_store_writes_and_discard_removes_side_artifacts(tmp_path, config):
+    enabled = dataclasses.replace(config, telemetry_window=2000)
+    result = run_one("silc", "mcf", enabled, misses_per_core=MISSES)
+    assert result.telemetry is not None
+    cache = ResultCache(tmp_path)
+    cell = make_cell(enabled)
+    key = cell.key()
+    cache.store(key, result, cell)
+    series = cache.telemetry_dir() / f"{key}.series.json"
+    trace = cache.telemetry_dir() / f"{key}.trace.json"
+    assert series.exists() and trace.exists()
+    # side artifacts live in a subdirectory: the main store still counts
+    # exactly one entry
+    assert len(cache) == 1
+    loaded = cache.load(key)
+    assert loaded.telemetry == result.telemetry
+    assert cache.discard(key)
+    assert not series.exists() and not trace.exists()
+    assert cache.load(key) is None
+
+
+def test_clear_removes_side_artifacts(tmp_path, config):
+    enabled = dataclasses.replace(config, telemetry_window=2000)
+    result = run_one("silc", "mcf", enabled, misses_per_core=MISSES)
+    cache = ResultCache(tmp_path)
+    cell = make_cell(enabled)
+    cache.store(cell.key(), result, cell)
+    assert cache.clear() == 1
+    assert not list(cache.telemetry_dir().glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
 # cell keys
 # ---------------------------------------------------------------------------
 def test_cell_key_is_stable_and_content_addressed(config):

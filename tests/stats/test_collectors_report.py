@@ -80,10 +80,31 @@ def test_histogram_percentiles():
     assert hist.percentile(100) == pytest.approx(100.0)
 
 
-def test_histogram_clamps_to_max_bucket():
+def test_histogram_overflow_bucket():
+    """Out-of-range values land in the explicit overflow bucket instead
+    of being folded into the last regular one."""
     hist = Histogram(bucket_width=1, max_buckets=4)
     hist.add(1000)
-    assert hist.percentile(100) == 4.0
+    assert hist.overflow == 1
+    assert hist.buckets() == []
+    assert hist.max_value == 1000
+    assert hist.percentile(100) == math.inf
+
+
+def test_histogram_overflow_percentile_split():
+    """Percentiles inside the bucketed range stay exact while the tail
+    honestly reports as out of range."""
+    hist = Histogram(bucket_width=10, max_buckets=10)  # span = 100
+    for v in range(90):
+        hist.add(v)
+    for _ in range(10):
+        hist.add(500)
+    assert hist.overflow == 10
+    assert hist.count == 100
+    assert hist.percentile(50) == pytest.approx(50.0)
+    assert hist.percentile(90) == pytest.approx(90.0)
+    assert hist.percentile(95) == math.inf
+    assert hist.span == 100.0
 
 
 def test_histogram_rejects_bad_values():

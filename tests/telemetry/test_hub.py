@@ -1,0 +1,183 @@
+"""Unit tests for the telemetry hub: signal kinds, sampling semantics,
+ring spill/drop accounting, and the engine attachment."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.telemetry import Telemetry, TimeSeriesRing
+
+
+def _hub(window=100, **kwargs):
+    return Telemetry(window_cycles=window, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+def test_reserved_sample_fields_rejected():
+    hub = _hub()
+    with pytest.raises(ValueError, match="reserved"):
+        hub.gauge("t", lambda: 0.0)
+    with pytest.raises(ValueError, match="reserved"):
+        hub.meter("dt", lambda: 0.0)
+
+
+def test_duplicate_registration_rejected():
+    hub = _hub()
+    hub.gauge("x", lambda: 1.0)
+    with pytest.raises(ValueError, match="already registered"):
+        hub.meter("x", lambda: 1.0)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        Telemetry(window_cycles=0)
+    with pytest.raises(ValueError):
+        Telemetry(window_cycles=-5)
+
+
+# ----------------------------------------------------------------------
+# signal semantics
+# ----------------------------------------------------------------------
+def test_gauge_sampled_raw():
+    hub = _hub()
+    box = {"v": 3.0}
+    hub.gauge("g", lambda: box["v"])
+    assert hub.sample_now()["g"] == 3.0
+    box["v"] = 7.0
+    assert hub.sample_now()["g"] == 7.0
+
+
+def test_meter_sampled_as_delta():
+    hub = _hub()
+    box = {"v": 0}
+    hub.meter("m", lambda: box["v"])
+    box["v"] = 10
+    assert hub.sample_now()["m"] == 10
+    box["v"] = 25
+    assert hub.sample_now()["m"] == 15
+
+
+def test_meter_clamps_negative_delta_after_reset():
+    """A warmup statistics reset makes the cumulative source jump
+    backwards; the meter must report 0 for that window, not a negative
+    rate."""
+    hub = _hub()
+    box = {"v": 100}
+    hub.meter("m", lambda: box["v"])
+    hub.sample_now()
+    box["v"] = 5  # reset + a little new activity
+    assert hub.sample_now()["m"] == 0.0
+    box["v"] = 12
+    assert hub.sample_now()["m"] == 7.0
+
+
+def test_counter_incr_and_window_delta():
+    hub = _hub()
+    hub.incr("c")
+    hub.incr("c", 4.0)
+    assert hub.counter("c") == 5.0
+    assert hub.sample_now()["c"] == 5.0
+    hub.incr("c")
+    assert hub.sample_now()["c"] == 1.0  # per-window delta
+    assert hub.counter("c") == 6.0       # cumulative unchanged
+
+
+def test_sample_has_time_fields():
+    hub = _hub()
+    sample = hub.sample_now()
+    assert set(sample) == {"t", "dt"}
+
+
+# ----------------------------------------------------------------------
+# ring buffer
+# ----------------------------------------------------------------------
+def test_ring_drops_oldest_half_when_full():
+    ring = TimeSeriesRing(capacity=8)
+    for i in range(8):
+        ring.append({"i": i})
+    assert ring.spilled == 4
+    assert [s["i"] for s in ring.samples()] == [4, 5, 6, 7]
+
+
+def test_ring_spills_to_jsonl(tmp_path):
+    path = tmp_path / "spill.jsonl"
+    ring = TimeSeriesRing(capacity=4, spill_path=str(path))
+    for i in range(4):
+        ring.append({"i": i})
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [s["i"] for s in lines] == [0, 1]
+    assert ring.spilled == 2
+
+
+def test_ring_minimum_capacity():
+    with pytest.raises(ValueError):
+        TimeSeriesRing(capacity=1)
+
+
+def test_snapshot_reports_spill_accounting():
+    hub = _hub(ring_capacity=4)
+    for _ in range(6):
+        hub.sample_now()
+    snap = hub.snapshot()
+    # capacity 4 evicts half at samples 4 and 6: 2 + 2 spilled
+    assert snap["spilled_samples"] == 4
+    assert len(snap["samples"]) + snap["spilled_samples"] == 6
+    assert snap["schema"] == 1
+    assert snap["window_cycles"] == 100
+
+
+# ----------------------------------------------------------------------
+# engine attachment
+# ----------------------------------------------------------------------
+def test_attach_samples_periodically():
+    engine = Engine()
+    hub = _hub(window=10)
+    keepalive = {"ticks": 0}
+
+    def work():
+        keepalive["ticks"] += 1
+        if keepalive["ticks"] < 5:
+            engine.schedule(10, work)
+
+    engine.schedule(0, work)
+    hub.attach(engine)
+    engine.run()
+    # sampler fires alongside the workload, then stops with the queue
+    assert hub.samples_taken >= 3
+    assert all(s["dt"] == 10 for s in hub.series.samples()[1:])
+
+
+def test_sampler_cannot_keep_engine_alive():
+    """With nothing else scheduled the periodic sampler must not
+    self-perpetuate (it would mask drained-queue errors)."""
+    engine = Engine()
+    hub = _hub(window=10)
+    hub.attach(engine)
+    engine.run()
+    assert engine.now <= 10  # one tick at most, then the queue drains
+
+
+def test_schedule_every_rejects_bad_period():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_every(0, lambda: None)
+
+
+def test_schedule_every_while_predicate_stops_chain():
+    engine = Engine()
+    fired = []
+    alive = {"on": True}
+    engine.schedule_every(5, lambda: fired.append(engine.now),
+                          while_=lambda: alive["on"])
+
+    def stop():
+        alive["on"] = False
+
+    # independent work keeps the queue non-empty long enough
+    engine.schedule(12, stop)
+    engine.schedule(30, lambda: None)
+    engine.run()
+    assert fired == [5.0, 10.0]  # the 15-cycle tick sees while_ False

@@ -1,0 +1,137 @@
+"""Unit tests for the Chrome-trace event tracer, the container format
+and the validator."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EventTracer,
+    TraceFormatError,
+    chrome_trace_container,
+    validate_chrome_trace,
+    write_artifacts,
+    write_series,
+    write_trace,
+)
+
+
+def _tracer(**kwargs):
+    kwargs.setdefault("cycles_per_us", 1000.0)
+    return EventTracer(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# event emission
+# ----------------------------------------------------------------------
+def test_instant_event_shape():
+    tracer = _tracer()
+    tracer.instant("swap-in", "swap", cycles=2000.0, args={"way": 3})
+    (event,) = tracer.events()
+    assert event["name"] == "swap-in"
+    assert event["ph"] == "i"
+    assert event["cat"] == "swap"
+    assert event["ts"] == pytest.approx(2.0)  # 2000 cycles @ 1 GHz = 2 us
+    assert event["args"] == {"way": 3}
+    assert "pid" in event and "tid" in event
+
+
+def test_counter_event_shape():
+    tracer = _tracer()
+    tracer.counter("telemetry", cycles=5000.0, values={"rate": 0.8})
+    (event,) = tracer.events()
+    assert event["ph"] == "C"
+    assert event["args"] == {"rate": 0.8}
+    assert event["ts"] == pytest.approx(5.0)
+
+
+def test_event_cap_counts_dropped():
+    tracer = _tracer(max_events=3)
+    for i in range(10):
+        tracer.instant(f"e{i}", "cat", cycles=float(i))
+    assert len(tracer.events()) == 3
+    assert tracer.dropped == 7
+    # the oldest events are kept (caps truncate the tail, not the head)
+    assert [e["name"] for e in tracer.events()] == ["e0", "e1", "e2"]
+
+
+# ----------------------------------------------------------------------
+# container + validation
+# ----------------------------------------------------------------------
+def test_container_wraps_events():
+    tracer = _tracer()
+    tracer.instant("x", "cat", cycles=0.0)
+    container = chrome_trace_container(tracer.events())
+    assert container["traceEvents"] == tracer.events()
+    assert "displayTimeUnit" in container
+
+
+def test_validate_accepts_container_dict_and_list():
+    tracer = _tracer()
+    tracer.instant("x", "cat", cycles=1.0)
+    events = tracer.events()
+    assert validate_chrome_trace(chrome_trace_container(events)) == 1
+    assert validate_chrome_trace(events) == 1
+
+
+def test_validate_accepts_file_path(tmp_path):
+    tracer = _tracer()
+    tracer.instant("x", "cat", cycles=1.0)
+    tracer.counter("c", cycles=2.0, values={"v": 1})
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(chrome_trace_container(tracer.events())))
+    assert validate_chrome_trace(str(path)) == 2
+
+
+def test_validate_rejects_missing_required_key():
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace([{"name": "x", "ph": "i", "ts": 0.0}])
+
+
+def test_validate_rejects_non_numeric_ts():
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace([{"name": "x", "ph": "i", "ts": "soon",
+                                "pid": 1, "tid": 1}])
+
+
+def test_validate_rejects_non_trace_payload():
+    with pytest.raises(TraceFormatError):
+        validate_chrome_trace({"not": "a trace"})
+
+
+# ----------------------------------------------------------------------
+# artifact files
+# ----------------------------------------------------------------------
+def _snapshot():
+    tracer = _tracer()
+    tracer.instant("lock", "lock", cycles=10.0)
+    return {
+        "schema": 1,
+        "window_cycles": 100,
+        "samples": [{"t": 100.0, "dt": 100.0, "g": 1.0}],
+        "spilled_samples": 0,
+        "spill_path": None,
+        "counters": {},
+        "events": tracer.events(),
+        "dropped_events": 0,
+    }
+
+
+def test_write_series_strips_events(tmp_path):
+    path = write_series(tmp_path / "s.series.json", _snapshot())
+    data = json.loads(path.read_text())
+    assert "events" not in data
+    assert data["samples"][0]["g"] == 1.0
+    assert data["schema"] == 1
+
+
+def test_write_trace_is_valid_chrome_trace(tmp_path):
+    path = write_trace(tmp_path / "t.trace.json", _snapshot())
+    assert validate_chrome_trace(str(path)) == 1
+
+
+def test_write_artifacts_names_both_files(tmp_path):
+    series, trace = write_artifacts(tmp_path / "sub", "stem", _snapshot())
+    assert series.name == "stem.series.json"
+    assert trace.name == "stem.trace.json"
+    assert series.exists() and trace.exists()

@@ -78,6 +78,83 @@ def test_non_positive_check_interval_rejected(monkeypatch, capsys):
         cli.main(["run", "silc", "mcf", "--check-every", "0"])
 
 
+def test_run_with_telemetry_writes_artifacts(tmp_path, capsys, monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=2)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    assert cli.main(["run", "silc", "mcf", "--misses", "400", "--telemetry",
+                     "--telemetry-out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert (tmp_path / "silc-mcf.series.json").exists()
+    assert (tmp_path / "silc-mcf.trace.json").exists()
+
+
+def test_telemetry_window_implies_telemetry(monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=1)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    seen = {}
+    real_run_one = cli.run_one
+
+    def spy(scheme, benchmark, config, **kwargs):
+        seen["window"] = config.telemetry_window
+        return real_run_one(scheme, benchmark, config, **kwargs)
+
+    monkeypatch.setattr(cli, "run_one", spy)
+    assert cli.main(["run", "silc", "mcf", "--misses", "200",
+                     "--telemetry-window", "2500",
+                     "--telemetry-out", "/tmp/_cli_telemetry_test"]) == 0
+    assert seen["window"] == 2500
+
+
+def test_non_positive_telemetry_window_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "silc", "mcf", "--telemetry-window", "0"])
+
+
+def test_trace_scheme_writes_chrome_trace(tmp_path, capsys, monkeypatch):
+    from repro.telemetry import validate_chrome_trace
+
+    small = dataclasses.replace(default_config(scale=0.25), cores=2)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    path = tmp_path / "run.json"
+    assert cli.main(["trace", "mcf", str(path), "--scheme", "silc",
+                     "--misses", "400"]) == 0
+    assert validate_chrome_trace(str(path)) > 0
+    assert "Perfetto" in capsys.readouterr().out
+
+
+def test_bench_quick_command(tmp_path, capsys, monkeypatch):
+    import repro.experiments.bench as bench
+
+    payload = {
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "date": "2026-01-02",
+        "quick": True,
+        "seed": bench.BENCH_SEED,
+        "platform": {},
+        "cells": [{"scheme": "silc", "workload": "mcf", "wall_seconds": 0.5,
+                   "accesses_per_sec": 12000.0, "accesses": 6000,
+                   "misses_per_core": 1500, "elapsed_cycles": 1.0,
+                   "access_rate": 0.5}],
+        "throughput": {"total_wall_seconds": 0.5, "total_accesses": 6000,
+                       "accesses_per_sec": 12000.0},
+        "figures_of_merit": {"speedup_over_nonm": {}},
+    }
+    seen = {}
+
+    def fake_run_bench(quick=False, **kwargs):
+        seen["quick"] = quick
+        return payload
+
+    monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+    assert cli.main(["bench", "--quick", "--out-dir", str(tmp_path)]) == 0
+    assert seen["quick"] is True
+    assert (tmp_path / "BENCH_2026-01-02.json").exists()
+    out = capsys.readouterr().out
+    assert "bench (quick)" in out
+    assert "wrote" in out
+
+
 def test_unknown_scheme_rejected():
     with pytest.raises(SystemExit):
         cli.main(["run", "bogus", "mcf"])
