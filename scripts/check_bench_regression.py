@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fail when the bench throughput regresses against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Compares ``accesses_per_sec`` per cell (matched by cell key + workload)
+and in total; exits 1 when the current run is more than ``threshold``
+(default 25%) slower than the baseline anywhere.  Cells present in only
+one file are reported but never fail the check (the suite definition may
+legitimately grow), and speedups are always fine.
+
+Wall-clock thresholds this loose are deliberately insensitive to CI-host
+noise; they catch the "someone re-introduced a per-op allocation"
+class of regression, not single-digit jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path: str):
+    with open(path) as fh:
+        payload = json.load(fh)
+    cells = {}
+    for cell in payload["cells"]:
+        key = (cell.get("key", cell["scheme"]), cell["workload"])
+        cells[key] = cell["accesses_per_sec"]
+    total = payload["throughput"]["accesses_per_sec"]
+    return cells, total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="maximum tolerated throughput drop "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be in (0, 1)")
+
+    base_cells, base_total = load_cells(args.baseline)
+    cur_cells, cur_total = load_cells(args.current)
+
+    failures = []
+    for key in sorted(base_cells):
+        label = f"{key[0]}/{key[1]}"
+        if key not in cur_cells:
+            print(f"  note: cell {label} missing from current run")
+            continue
+        base, cur = base_cells[key], cur_cells[key]
+        ratio = cur / base if base else float("inf")
+        marker = ""
+        if ratio < 1 - args.threshold:
+            failures.append(label)
+            marker = "  <-- REGRESSION"
+        print(f"  {label}: {base:,.0f} -> {cur:,.0f} acc/s "
+              f"({ratio:.2f}x){marker}")
+    for key in sorted(set(cur_cells) - set(base_cells)):
+        print(f"  note: new cell {key[0]}/{key[1]} "
+              f"({cur_cells[key]:,.0f} acc/s, no baseline)")
+
+    total_ratio = cur_total / base_total if base_total else float("inf")
+    marker = ""
+    if total_ratio < 1 - args.threshold:
+        failures.append("total")
+        marker = "  <-- REGRESSION"
+    print(f"  total: {base_total:,.0f} -> {cur_total:,.0f} acc/s "
+          f"({total_ratio:.2f}x){marker}")
+
+    if failures:
+        print(f"FAIL: >{args.threshold:.0%} throughput regression in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"OK: throughput within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

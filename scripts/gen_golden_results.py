@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate the golden ``RunResult`` JSONs under ``tests/data/golden/``.
+
+These files pin the *exact* simulation output (every stats counter, every
+float) for a fixed config+seed grid.  ``tests/integration/
+test_golden_results.py`` replays the same grid and asserts byte-identical
+JSON, so any change to the hot path that silently perturbs simulated
+behaviour — reordered events, changed float arithmetic, a dropped
+counter — fails loudly instead of drifting the paper's figures.
+
+Only regenerate (``python scripts/gen_golden_results.py``) when a change
+*intends* to alter simulated behaviour, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.runner import run_one  # noqa: E402
+from repro.sim.config import default_config  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden"
+
+#: the pinned grid: one epoch scheme (hma), one non-bijective scheme
+#: (alloy), the paper scheme (silc), plus cam and the no-NM baseline.
+SCHEMES = ["nonm", "silc", "cam", "pom", "hma", "alloy"]
+WORKLOAD = "mcf"
+MISSES = 300
+SEED = 7
+SCALE = 0.25
+
+
+def golden_json(scheme: str) -> str:
+    config = default_config(scale=SCALE)
+    result = run_one(scheme, WORKLOAD, config,
+                     misses_per_core=MISSES, seed=SEED)
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for scheme in SCHEMES:
+        path = GOLDEN_DIR / f"{scheme}-{WORKLOAD}.json"
+        path.write_text(golden_json(scheme))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,15 @@ def _add_check_flags(sub_parser: argparse.ArgumentParser) -> None:
              f"default {DEFAULT_CHECK_EVERY})")
 
 
+def _add_mshr_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--mshr-entries", type=int, default=None, metavar="N",
+        help="MSHR file size: same-subblock misses coalesce onto one"
+             " in-flight transaction, arrivals beyond N entries stall"
+             " structurally (default 0 = no MSHR, pre-transaction"
+             " behaviour)")
+
+
 def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--telemetry", action="store_true",
@@ -118,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default results/telemetry)")
     _add_check_flags(run_p)
     _add_telemetry_flags(run_p)
+    _add_mshr_flag(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a benchmark")
     cmp_p.add_argument("benchmark", choices=BENCHMARKS)
@@ -128,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--scale", type=float, default=None)
     _add_check_flags(cmp_p)
     _add_telemetry_flags(cmp_p)
+    _add_mshr_flag(cmp_p)
     _add_executor_flags(cmp_p)
 
     fig_p = sub.add_parser(
@@ -205,10 +216,21 @@ def _with_telemetry(config, args):
     return dataclasses.replace(config, telemetry_window=window)
 
 
+def _with_mshr(config, args):
+    """Fold ``--mshr-entries`` into a config."""
+    entries = getattr(args, "mshr_entries", None)
+    if entries is None:
+        return config
+    if entries < 0:
+        raise SystemExit("--mshr-entries must be >= 0")
+    return dataclasses.replace(config, mshr_entries=entries)
+
+
 def _config(scale: Optional[float], args=None):
     config = default_config() if scale is None else default_config(scale=scale)
     if args is not None:
-        config = _with_telemetry(_with_check(config, args), args)
+        config = _with_mshr(
+            _with_telemetry(_with_check(config, args), args), args)
     return config
 
 
@@ -394,8 +416,9 @@ def _cmd_bench(args) -> int:
     path = write_bench(payload, args.out_dir)
     throughput = payload["throughput"]
     print(format_table(
-        ["scheme", "workload", "wall s", "accesses/s"],
-        [[c["scheme"], c["workload"], f"{c['wall_seconds']:.2f}",
+        ["cell", "workload", "wall s", "accesses/s"],
+        [[c.get("key", c["scheme"]), c["workload"],
+          f"{c['wall_seconds']:.2f}",
           f"{c['accesses_per_sec']:,.0f}"] for c in payload["cells"]],
         title=f"bench ({'quick' if args.quick else 'full'})"))
     print(f"total: {throughput['total_accesses']:,} accesses in "

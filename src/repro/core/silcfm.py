@@ -213,20 +213,15 @@ class SilcFmScheme(MemoryScheme):
             self._touch(frame)
             frame.bump_fm()
             if frame.locked or frame.bit(index):
-                plan = AccessPlan(
-                    serviced_from=Level.NM,
-                    stages=[[self._nm_sub_op(way, index)]],
-                    note="row1",
-                )
+                plan = AccessPlan.single(
+                    Level.NM, self._nm_sub_op(way, index), "row1")
             elif self._bypassing:
                 plan = self._bypass_plan(block, index, note="row2-bypass")
             else:
                 plan = AccessPlan(
-                    serviced_from=Level.FM,
-                    stages=[[self._fm_sub_op(block, index)]],
-                    background=self._swap_subblock_in(way, block, index, paddr, pc),
-                    note="row2",
-                )
+                    Level.FM, [[self._fm_sub_op(block, index)]],
+                    self._swap_subblock_in(way, block, index, paddr, pc),
+                    False, "row2")
             self._maybe_lock_fm(way)
             return plan, way, True
 
@@ -237,11 +232,8 @@ class SilcFmScheme(MemoryScheme):
         way = self._choose_victim(block % self.num_sets, block)
         if way is None:
             self.all_locked_fallbacks += 1
-            plan = AccessPlan(
-                serviced_from=Level.FM,
-                stages=[[self._fm_sub_op(block, index)]],
-                note="all-locked",
-            )
+            plan = AccessPlan.single(
+                Level.FM, self._fm_sub_op(block, index), "all-locked")
             return plan, self._set_ways(block % self.num_sets)[0], False
 
         background: List[Op] = []
@@ -250,11 +242,8 @@ class SilcFmScheme(MemoryScheme):
             background.extend(self._restore(way))
         background.extend(self._install(way, block, index, paddr, pc))
         plan = AccessPlan(
-            serviced_from=Level.FM,
-            stages=[[self._fm_sub_op(block, index)]],
-            background=background,
-            note="row5",
-        )
+            Level.FM, [[self._fm_sub_op(block, index)]], background,
+            False, "row5")
         self._touch(frame)
         self._maybe_lock_fm(way)
         return plan, way, False
@@ -271,27 +260,20 @@ class SilcFmScheme(MemoryScheme):
 
         if frame.locked and frame.lock_owner == "fm":
             # the native page is fully displaced to the partner's home
-            plan = AccessPlan(
-                serviced_from=Level.FM,
-                stages=[[self._fm_sub_op(frame.remap, index)]],
-                note="nm-displaced-by-lock",
-            )
+            plan = AccessPlan.single(
+                Level.FM, self._fm_sub_op(frame.remap, index),
+                "nm-displaced-by-lock")
         elif frame.remap is not None and not frame.locked and frame.bit(index):
             if self._bypassing:
                 plan = self._bypass_plan(frame.remap, index, note="row3-bypass")
             else:
                 plan = AccessPlan(
-                    serviced_from=Level.FM,
-                    stages=[[self._fm_sub_op(frame.remap, index)]],
-                    background=self._swap_subblock_back(frame_idx, index),
-                    note="row3",
-                )
+                    Level.FM, [[self._fm_sub_op(frame.remap, index)]],
+                    self._swap_subblock_back(frame_idx, index),
+                    False, "row3")
         else:
-            plan = AccessPlan(
-                serviced_from=Level.NM,
-                stages=[[self._nm_sub_op(frame_idx, index)]],
-                note="row4",
-            )
+            plan = AccessPlan.single(
+                Level.NM, self._nm_sub_op(frame_idx, index), "row4")
         self._maybe_lock_nm(frame_idx)
         return plan, frame_idx
 
@@ -519,12 +501,8 @@ class SilcFmScheme(MemoryScheme):
 
     def _bypass_plan(self, block: int, index: int, note: str) -> AccessPlan:
         self.balancer.note_bypassed()
-        return AccessPlan(
-            serviced_from=Level.FM,
-            stages=[[self._fm_sub_op(block, index)]],
-            bypassed=True,
-            note=note,
-        )
+        return AccessPlan.single(
+            Level.FM, self._fm_sub_op(block, index), note, bypassed=True)
 
     # ------------------------------------------------------------------
     # latency model (Section III-F)

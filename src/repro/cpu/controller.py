@@ -3,25 +3,33 @@ two memory devices.
 
 Responsibilities:
 
-* run each plan's critical-path stages in order (stage *i+1* issues when
-  stage *i*'s last operation completes) at demand priority, then signal
-  the waiting core;
+* drive each :class:`~repro.cpu.mshr.MemoryRequest` transaction through
+  its plan's critical-path stages (stage *i+1* issues when stage *i*'s
+  last operation completes) at demand priority, then wake the
+  transaction's waiters;
 * fire background traffic (swaps, migrations, prefetches, writebacks)
   without blocking anyone — it still competes for channel bandwidth;
 * drive epoch-based schemes (HMA): run the scheme's epoch at its period,
   issue the bulk-migration traffic and stall *all* demand requests for
   the OS-overhead window (context switch + PTE/TLB work);
 * account demand bytes per level for the Fig. 8 bandwidth-split result.
+
+The stage walk is an explicit state machine on the transaction itself
+(``stage_index`` / ``remaining_ops`` fields, updated by
+``MemoryRequest.op_done``) rather than a chain of nested closures: one
+transaction object per miss carries everything, and the oracle and
+telemetry hooks fire on its lifecycle events (dispatch, completion).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.cpu.mshr import COMPLETE, DISPATCHED, STAGING, MemoryRequest
 from repro.dram.device import MemoryDevice
 from repro.dram.request import Priority
-from repro.schemes.base import AccessPlan, Level, MemoryScheme, Op
+from repro.schemes.base import AccessPlan, Level, MemoryScheme
 from repro.sim.engine import Engine
 
 if TYPE_CHECKING:
@@ -77,10 +85,13 @@ class FlatMemoryController:
         self._nm = nm_device
         self._fm = fm_device
         #: differential oracle (repro.validate); None in normal runs.
-        #: Hooked around every scheme call so it sees the same metadata
-        #: snapshots the scheme does, stall-rescheduling included.
+        #: Hooked on transaction lifecycle events (dispatch), so it sees
+        #: the same metadata snapshots the scheme does,
+        #: stall-rescheduling included.
         self.oracle = oracle
         self.stats = ControllerStats()
+        #: transactions dispatched into the scheme but not yet complete.
+        self.inflight = 0
         self._stall_until = 0.0
         period = scheme.epoch_period_cycles()
         if period is not None:
@@ -103,6 +114,7 @@ class FlatMemoryController:
                   lambda: stats.background_fm_bytes)
         hub.meter("ctrl.writebacks", lambda: stats.writebacks)
         hub.meter("ctrl.misses_completed", lambda: stats.misses_completed)
+        hub.gauge("ctrl.inflight", lambda: float(self.inflight))
         hub.gauge("ctrl.nm_demand_fraction",
                   lambda: stats.nm_demand_fraction, trace=True)
         hub.gauge("ctrl.mean_miss_latency", lambda: stats.mean_miss_latency)
@@ -110,33 +122,45 @@ class FlatMemoryController:
     # ------------------------------------------------------------------
     def handle_miss(self, paddr: int, is_write: bool, pc: int,
                     on_done: Callable[[float], None]) -> None:
-        """Service one LLC miss; ``on_done(time)`` fires at completion."""
+        """Compatibility front door (``mshr_entries = 0`` and the
+        test-suite): wrap one miss in a single-waiter transaction."""
+        txn = MemoryRequest(paddr, is_write, pc, self._engine.now)
+        txn.waiters.append(on_done)
+        self.handle_request(txn)
+
+    def handle_request(self, txn: MemoryRequest) -> None:
+        """Dispatch one transaction: consult the scheme, fire background
+        traffic, and start walking the critical-path stages."""
         now = self._engine.now
         if now < self._stall_until:
             # OS epoch in progress: demand requests wait it out.
             self._engine.schedule_at(
-                self._stall_until, self.handle_miss, paddr, is_write, pc, on_done
-            )
+                self._stall_until, self.handle_request, txn)
             return
-        if self.oracle is not None:
-            self.oracle.before_access(paddr, is_write)
-        plan = self.scheme.access(paddr, is_write, pc)
-        if self.oracle is not None:
-            self.oracle.after_access(paddr, is_write, plan)
+        txn.state = DISPATCHED
+        txn.dispatch_time = now
+        txn.controller = self
+        oracle = self.oracle
+        if oracle is not None:
+            oracle.before_access(txn.paddr, txn.is_write)
+        plan = self.scheme.access(txn.paddr, txn.is_write, txn.pc)
+        if oracle is not None:
+            oracle.after_access(txn.paddr, txn.is_write, plan)
+        txn.plan = plan
+        txn.stages = plan.stages
         self._account(plan)
         for op in plan.background:
             self._issue(op, Priority.BACKGROUND, None)
-        start = now
-
-        def finished(when: float) -> None:
-            self.stats.misses_completed += 1
-            self.stats.total_miss_latency += when - start
-            on_done(when)
-
-        self._run_stage(plan.stages, 0, finished)
+        self.inflight += 1
+        txn.state = STAGING
+        txn.stage_index = -1
+        self._advance(txn, now)
 
     def handle_writeback(self, paddr: int) -> None:
-        """LLC dirty eviction: background write to the data's location."""
+        """LLC dirty eviction: background write to the data's location.
+
+        Writebacks bypass the MSHR file entirely (nothing waits on
+        them), so their ordering is independent of demand coalescing."""
         plan = self.scheme.writeback(paddr)
         if self.oracle is not None:
             self.oracle.after_writeback(paddr, plan)
@@ -146,42 +170,61 @@ class FlatMemoryController:
             self._issue(op, Priority.BACKGROUND, None)
 
     # ------------------------------------------------------------------
-    def _run_stage(self, stages: List[List[Op]], index: int,
-                   on_done: Callable[[float], None]) -> None:
-        if index >= len(stages):
-            on_done(self._engine.now)
-            return
-        ops = stages[index]
-        if not ops:
-            self._run_stage(stages, index + 1, on_done)
-            return
-        remaining = len(ops)
+    def _advance(self, txn: MemoryRequest, when: float) -> None:
+        """Issue the next non-empty stage, or complete the transaction.
 
-        def op_done(when: float) -> None:
-            nonlocal remaining
-            remaining -= 1
-            if remaining == 0:
-                self._run_stage(stages, index + 1, on_done)
+        Called at dispatch (``stage_index == -1``) and from
+        ``MemoryRequest.op_done`` when a stage's last op lands."""
+        stages = txn.stages
+        n = len(stages)
+        i = txn.stage_index + 1
+        nm = self._nm
+        fm = self._fm
+        while i < n:
+            ops = stages[i]
+            if ops:
+                txn.stage_index = i
+                txn.remaining_ops = len(ops)
+                op_done = txn.op_done
+                for op in ops:
+                    (nm if op.level is Level.NM else fm).access(
+                        op.addr, op.size, op.is_write,
+                        Priority.DEMAND, op_done)
+                return
+            i += 1
+        self._complete(txn, self._engine.now)
 
-        for op in ops:
-            self._issue(op, Priority.DEMAND, op_done)
+    def _complete(self, txn: MemoryRequest, when: float) -> None:
+        self.inflight -= 1
+        stats = self.stats
+        stats.misses_completed += 1
+        stats.total_miss_latency += when - txn.dispatch_time
+        txn.state = COMPLETE
+        txn.finish_time = when
+        mshr = txn.mshr
+        if mshr is not None:
+            mshr.release(txn, when)
+        else:
+            for waiter in txn.waiters:
+                waiter(when)
 
-    def _issue(self, op: Op, priority: Priority,
-               on_complete) -> None:
+    def _issue(self, op, priority: Priority, on_complete) -> None:
         device = self._nm if op.level is Level.NM else self._fm
         device.access(op.addr, op.size, op.is_write, priority, on_complete)
 
     def _account(self, plan: AccessPlan) -> None:
-        for op in plan.critical_ops():
-            if op.level is Level.NM:
-                self.stats.demand_nm_bytes += op.size
-            else:
-                self.stats.demand_fm_bytes += op.size
+        stats = self.stats
+        for stage in plan.stages:
+            for op in stage:
+                if op.level is Level.NM:
+                    stats.demand_nm_bytes += op.size
+                else:
+                    stats.demand_fm_bytes += op.size
         for op in plan.background:
             if op.level is Level.NM:
-                self.stats.background_nm_bytes += op.size
+                stats.background_nm_bytes += op.size
             else:
-                self.stats.background_fm_bytes += op.size
+                stats.background_fm_bytes += op.size
 
     # ------------------------------------------------------------------
     def _run_epoch(self, period: float) -> None:

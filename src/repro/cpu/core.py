@@ -15,6 +15,7 @@ already an LLC miss (miss-stream mode, the fast default).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
@@ -67,7 +68,11 @@ class Core:
         self._blocked = False
         self._draining = False
         self.finished = False
-        self._dirty_fifo = []
+        #: bounded FIFO; overflow evicts the oldest entry as a writeback
+        #: (an explicit popleft rather than ``maxlen`` because a silent
+        #: drop would lose the eviction).  deque makes that O(1) where a
+        #: list's ``pop(0)`` was O(depth) per dirty miss.
+        self._dirty_fifo: deque = deque()
         self.stats = CoreStats()
 
     # ------------------------------------------------------------------
@@ -126,7 +131,7 @@ class Core:
             return
         self._dirty_fifo.append(paddr)
         if len(self._dirty_fifo) > DIRTY_FIFO_DEPTH:
-            self._send_writeback(self._dirty_fifo.pop(0))
+            self._send_writeback(self._dirty_fifo.popleft())
 
     def _maybe_finish(self) -> None:
         if self._draining and self._outstanding == 0 and not self.finished:

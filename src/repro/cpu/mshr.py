@@ -1,0 +1,229 @@
+"""Miss-status holding registers: the transaction front door to the
+flat-memory controller.
+
+Every LLC miss is a first-class :class:`MemoryRequest` transaction that
+flows core -> MSHR file -> controller -> scheme -> devices as an explicit
+state machine::
+
+    QUEUED ----------> DISPATCHED ----------> STAGING ----------> COMPLETE
+    (waiting for an    (scheme consulted,     (critical-path      (waiters
+     MSHR entry; only   plan attached; may     stages in flight    woken,
+     when the file is   be held here by an     on the devices)     entry
+     full)              OS epoch stall)                            freed)
+
+The MSHR file itself (:class:`MSHRFile`) models the two behaviours real
+hybrid-memory controllers get from their request queues:
+
+* **coalescing** — a second miss to a 64 B subblock that already has a
+  transaction in flight does *not* consult the scheme or touch the
+  devices again; it simply joins the transaction's waiter list and wakes
+  when the one transaction completes.
+* **structural stalls** — the file has a configurable number of entries
+  (``SystemConfig.mshr_entries``); when all are occupied, new misses
+  queue FIFO until an entry frees.  These stalls are counted separately
+  (:class:`MSHRStats`) from the cores' full-ROB stalls
+  (``CoreStats.stall_events``) so the two bottlenecks are
+  distinguishable in the results.
+
+``mshr_entries = 0`` is the *compatibility* value: no MSHR file is built
+at all and cores talk to the controller directly (via
+``FlatMemoryController.handle_miss``, which wraps each miss in a
+transaction with a single waiter) — simulated results are bit-identical
+to the pre-MSHR design.
+
+Dirty-eviction writebacks never enter the MSHR: they are fire-and-forget
+background traffic with no completion to coalesce onto, and routing them
+around the file preserves their issue order even when the demand stream
+stalls structurally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.config import SUBBLOCK_BYTES
+from repro.sim.engine import Engine
+
+# ---------------------------------------------------------------------------
+# transaction states (plain ints: state checks sit on the hot path)
+# ---------------------------------------------------------------------------
+QUEUED = 0      #: allocated, waiting for a free MSHR entry
+DISPATCHED = 1  #: entered the controller; scheme consulted, plan attached
+STAGING = 2     #: critical-path stages in flight on the devices
+COMPLETE = 3    #: finished; waiters woken, entry freed
+
+STATE_NAMES = {QUEUED: "QUEUED", DISPATCHED: "DISPATCHED",
+               STAGING: "STAGING", COMPLETE: "COMPLETE"}
+
+
+class MemoryRequest:
+    """One LLC miss as an explicit transaction.
+
+    Carries everything the old closure chain captured implicitly — the
+    current stage index, the count of outstanding ops in that stage, and
+    the issue/dispatch/finish timestamps — as plain fields, so the
+    controller's stage walk allocates nothing per stage and the state of
+    every in-flight miss is inspectable.
+    """
+
+    __slots__ = ("paddr", "is_write", "pc", "state",
+                 "issue_time", "dispatch_time", "finish_time",
+                 "plan", "stages", "stage_index", "remaining_ops",
+                 "waiters", "coalesced", "line", "mshr", "controller")
+
+    def __init__(self, paddr: int, is_write: bool, pc: int,
+                 issue_time: float) -> None:
+        self.paddr = paddr
+        self.is_write = is_write
+        self.pc = pc
+        self.state = QUEUED
+        self.issue_time = issue_time
+        self.dispatch_time = 0.0
+        self.finish_time = 0.0
+        self.plan = None
+        self.stages = None
+        self.stage_index = -1
+        self.remaining_ops = 0
+        #: ``on_done(when)`` callbacks woken at completion; the first is
+        #: the issuing core's, the rest are coalesced same-subblock
+        #: misses.
+        self.waiters: List[Callable[[float], None]] = []
+        self.coalesced = 0
+        self.line = -1
+        self.mshr: Optional["MSHRFile"] = None
+        self.controller = None
+
+    # ------------------------------------------------------------------
+    def op_done(self, when: float) -> None:
+        """Device completion callback for every op of the current stage;
+        the stage is done when the last op reports in."""
+        self.remaining_ops -= 1
+        if self.remaining_ops == 0:
+            self.controller._advance(self, when)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryRequest(paddr={self.paddr:#x}, "
+                f"state={STATE_NAMES[self.state]}, "
+                f"stage={self.stage_index}, waiters={len(self.waiters)})")
+
+
+@dataclass
+class MSHRStats:
+    """MSHR-file accounting.  ``reset()`` supports warmup discarding."""
+
+    allocations: int = 0
+    #: misses absorbed by an in-flight same-subblock transaction.
+    coalesced: int = 0
+    #: arrivals that found the file full and had to queue (the MSHR's
+    #: structural stall — distinct from the cores' full-ROB
+    #: ``CoreStats.stall_events``).
+    structural_stalls: int = 0
+    peak_occupancy: int = 0
+    peak_pending: int = 0
+
+    def reset(self) -> None:
+        self.allocations = 0
+        self.coalesced = 0
+        self.structural_stalls = 0
+        self.peak_occupancy = 0
+        self.peak_pending = 0
+
+
+class MSHRFile:
+    """A shared LLC-level MSHR file in front of the controller."""
+
+    def __init__(self, engine: Engine, entries: int, controller,
+                 subblock_bytes: int = SUBBLOCK_BYTES) -> None:
+        if entries < 1:
+            raise ValueError("an MSHR file needs at least one entry")
+        self._engine = engine
+        self.entries = entries
+        self._controller = controller
+        self._shift = subblock_bytes.bit_length() - 1
+        #: in-flight transactions keyed by subblock line number.
+        self._table: Dict[int, MemoryRequest] = {}
+        #: FIFO of misses that arrived while the file was full.
+        self._pending: Deque[Tuple[int, bool, int, Callable]] = deque()
+        self._draining = False
+        self.stats = MSHRStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._table)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def attach_telemetry(self, hub) -> None:
+        """Coalescing/stall meters plus occupancy gauges."""
+        stats = self.stats  # warmup reset keeps the object identity
+        hub.meter("mshr.allocations", lambda: stats.allocations)
+        hub.meter("mshr.coalesced", lambda: stats.coalesced)
+        hub.meter("mshr.structural_stalls",
+                  lambda: stats.structural_stalls)
+        hub.gauge("mshr.occupancy", lambda: float(len(self._table)))
+        hub.gauge("mshr.pending", lambda: float(len(self._pending)))
+
+    # ------------------------------------------------------------------
+    def issue(self, paddr: int, is_write: bool, pc: int,
+              on_done: Callable[[float], None]) -> None:
+        """Core-facing entry point (same signature as
+        ``FlatMemoryController.handle_miss``)."""
+        line = paddr >> self._shift
+        txn = self._table.get(line)
+        if txn is not None:
+            # coalesce: join the in-flight transaction's waiter list.
+            txn.waiters.append(on_done)
+            txn.coalesced += 1
+            self.stats.coalesced += 1
+            return
+        if len(self._table) >= self.entries:
+            self.stats.structural_stalls += 1
+            self._pending.append((paddr, is_write, pc, on_done))
+            if len(self._pending) > self.stats.peak_pending:
+                self.stats.peak_pending = len(self._pending)
+            return
+        self._allocate(line, paddr, is_write, pc, on_done)
+
+    def _allocate(self, line: int, paddr: int, is_write: bool, pc: int,
+                  on_done: Callable[[float], None]) -> None:
+        txn = MemoryRequest(paddr, is_write, pc, self._engine.now)
+        txn.line = line
+        txn.mshr = self
+        txn.waiters.append(on_done)
+        self._table[line] = txn
+        self.stats.allocations += 1
+        if len(self._table) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self._table)
+        self._controller.handle_request(txn)
+
+    # ------------------------------------------------------------------
+    def release(self, txn: MemoryRequest, when: float) -> None:
+        """Called by the controller when ``txn`` completes: free the
+        entry, wake every waiter (issue order), then admit queued
+        misses into the freed capacity."""
+        del self._table[txn.line]
+        for waiter in txn.waiters:
+            waiter(when)
+        if self._draining:
+            # nested completion during admission below: the outer drain
+            # loop re-checks capacity, nothing more to do here.
+            return
+        self._draining = True
+        try:
+            while self._pending and len(self._table) < self.entries:
+                paddr, is_write, pc, on_done = self._pending.popleft()
+                line = paddr >> self._shift
+                cur = self._table.get(line)
+                if cur is not None:
+                    cur.waiters.append(on_done)
+                    cur.coalesced += 1
+                    self.stats.coalesced += 1
+                else:
+                    self._allocate(line, paddr, is_write, pc, on_done)
+        finally:
+            self._draining = False

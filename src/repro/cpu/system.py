@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cache.hierarchy import CacheHierarchy, HierarchyOutcome
 from repro.cpu.controller import ControllerStats, FlatMemoryController
 from repro.cpu.core import Core, CoreStats
+from repro.cpu.mshr import MSHRFile
 from repro.dram.channel import ChannelStats
 from repro.dram.device import MemoryDevice
 from repro.energy.model import EnergyBreakdown, EnergyModel
@@ -172,6 +173,16 @@ class System:
         self.controller = FlatMemoryController(
             self.engine, self.scheme, self.nm_device, self.fm_device,
             oracle=self.oracle)
+        #: MSHR file between the cores and the controller; None at the
+        #: compatibility value (``mshr_entries = 0``), where misses go
+        #: straight to ``handle_miss`` and results are bit-identical to
+        #: the pre-MSHR design.
+        self.mshr: Optional[MSHRFile] = None
+        if config.mshr_entries > 0:
+            self.mshr = MSHRFile(
+                self.engine, config.mshr_entries, self.controller)
+        send_miss = (self.mshr.issue if self.mshr is not None
+                     else self.controller.handle_miss)
         self.hierarchy = (
             CacheHierarchy(config.caches, config.cores) if mode == "reference" else None
         )
@@ -183,6 +194,7 @@ class System:
         self.cores: List[Core] = []
         self.page_tables: List[PageTable] = []
         self._finished = 0
+        self._halt_on_done = False
         for core_id, spec in enumerate(specs):
             table = PageTable(allocator, asid=core_id)
             self.page_tables.append(table)
@@ -198,7 +210,7 @@ class System:
                 issue_width=config.core.issue_width,
                 max_outstanding=config.core.max_outstanding_misses,
                 translate=table.translate,
-                send_miss=self.controller.handle_miss,
+                send_miss=send_miss,
                 send_writeback=self.controller.handle_writeback,
                 classify=classify,
                 on_finished=self._core_finished,
@@ -229,6 +241,8 @@ class System:
         self.fm_device.attach_telemetry(hub)
         if self.oracle is not None:
             self.oracle.attach_telemetry(hub)
+        if self.mshr is not None:
+            self.mshr.attach_telemetry(hub)
         cores = self.cores
         hub.meter("cpu.instructions",
                   lambda: sum(c.stats.instructions for c in cores))
@@ -251,6 +265,11 @@ class System:
 
     def _core_finished(self, core: Core) -> None:
         self._finished += 1
+        if self._halt_on_done and self._finished == len(self.cores):
+            # stop the engine right after this event: remaining queued
+            # events (in-flight background traffic, samplers) stay
+            # unexecuted, exactly as the old per-event step loop did.
+            self.engine.halt()
 
     def _check_warmup(self) -> None:
         if (self._warmup_done_at is None
@@ -258,6 +277,8 @@ class System:
             self._warmup_done_at = self.engine.now
             self.scheme.stats.reset()
             self.controller.stats.reset()
+            if self.mshr is not None:
+                self.mshr.stats.reset()
             for device in (self.nm_device, self.fm_device):
                 for channel in device.channels:
                     channel.stats.reset()
@@ -266,23 +287,46 @@ class System:
 
     # ------------------------------------------------------------------
     def run(self, max_events: Optional[int] = None) -> RunResult:
-        """Step the engine until every core retires its whole trace."""
+        """Run the engine until every core retires its whole trace.
+
+        The warmup region steps event-by-event (the reset point depends
+        on a per-event miss-count check); the steady-state region runs
+        inside ``Engine.run``'s fast dispatch loop and halts the moment
+        the last core finishes.  ``max_events`` uses the engine's
+        watchdog semantics: exactly ``max_events`` dispatches are
+        allowed, dispatching one more raises.
+        """
         for core in self.cores:
             core.start()
+        engine = self.engine
+        total = len(self.cores)
         dispatched = 0
         warming = self._warmup_misses > 0
-        while self._finished < len(self.cores):
-            if not self.engine.step():
+        while warming and self._finished < total:
+            if max_events is not None and dispatched >= max_events:
                 raise SimulationError(
-                    f"event queue drained with {len(self.cores) - self._finished}"
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+            if not engine.step():
+                raise SimulationError(
+                    f"event queue drained with {total - self._finished}"
                     " cores unfinished (lost completion callback?)"
                 )
-            if warming:
-                self._check_warmup()
-                warming = self._warmup_done_at is None
             dispatched += 1
-            if max_events is not None and dispatched > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+            self._check_warmup()
+            warming = self._warmup_done_at is None
+        if self._finished < total:
+            self._halt_on_done = True
+            try:
+                engine.run(max_events=(None if max_events is None
+                                       else max_events - dispatched))
+            finally:
+                self._halt_on_done = False
+            if self._finished < total:
+                raise SimulationError(
+                    f"event queue drained with {total - self._finished}"
+                    " cores unfinished (lost completion callback?)"
+                )
         finish = max(core.stats.finish_time for core in self.cores)
         elapsed = finish - (self._warmup_done_at or 0.0)
         if self.oracle is not None:
@@ -311,6 +355,15 @@ class System:
             extras["oracle_accesses_checked"] = float(
                 self.oracle.accesses_checked)
             extras["oracle_full_scans"] = float(self.oracle.full_scans)
+        if self.mshr is not None:
+            # only when the MSHR file exists, so compatibility-mode
+            # results stay bit-identical to pre-MSHR runs.
+            extras["mshr_allocations"] = float(self.mshr.stats.allocations)
+            extras["mshr_coalesced"] = float(self.mshr.stats.coalesced)
+            extras["mshr_structural_stalls"] = float(
+                self.mshr.stats.structural_stalls)
+            extras["mshr_peak_occupancy"] = float(
+                self.mshr.stats.peak_occupancy)
         return RunResult(
             scheme_name=self.scheme.name,
             workload_name=self.workload.name,

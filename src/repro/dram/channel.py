@@ -87,9 +87,13 @@ class Channel:
         self._picks = 0
         self.refreshes = 0
         self.stats = ChannelStats()
+        #: conversion factor and per-size burst durations, cached off the
+        #: timing properties — ``_issue`` runs once per DRAM request and
+        #: the formulas are pure in ``size``.
+        self._cpm = timings.cpu_cycles_per_mem
+        self._burst_cpu_cycles: dict = {}
         if timings.t_refi > 0:
-            engine.schedule(timings.t_refi * timings.cpu_cycles_per_mem,
-                            self._refresh)
+            engine.schedule(timings.t_refi * self._cpm, self._refresh)
 
     def _refresh(self) -> None:
         """All-bank refresh: every bank precharges and is unavailable
@@ -99,7 +103,7 @@ class Channel:
         engine driving a refresh-enabled device never drains — run it
         with a horizon (``engine.run(until=...)``) or via ``System.run``
         (which stops when the cores finish)."""
-        cpm = self._t.cpu_cycles_per_mem
+        cpm = self._cpm
         done = self._engine.now + self._t.t_rfc * cpm
         for bank in self._banks:
             bank.open_row = None
@@ -119,8 +123,9 @@ class Channel:
         queue = (self._demand_queue if request.priority == Priority.DEMAND
                  else self._background_queue)
         queue.append(request)
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
-                                         self.queue_depth)
+        depth = len(self._demand_queue) + len(self._background_queue)
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
         self._try_issue()
 
     @property
@@ -132,7 +137,8 @@ class Channel:
 
     # ------------------------------------------------------------------
     def _try_issue(self) -> None:
-        while self.queue_depth and self._inflight < self.pipeline_depth:
+        while ((self._demand_queue or self._background_queue)
+               and self._inflight < self.pipeline_depth):
             request = self._pick()
             self._issue(request)
 
@@ -175,7 +181,10 @@ class Channel:
         bank = self._banks[request.coords.bank]
         data_ready = bank.prepare(request.coords.row, now)
         data_start = max(data_ready, self._bus_free)
-        burst = self._t.burst_mem_cycles(request.size) * self._t.cpu_cycles_per_mem
+        burst = self._burst_cpu_cycles.get(request.size)
+        if burst is None:
+            burst = self._t.burst_mem_cycles(request.size) * self._cpm
+            self._burst_cpu_cycles[request.size] = burst
         completion = data_start + burst
         self._bus_free = completion
         self._inflight += 1

@@ -62,6 +62,24 @@ class MemoryDevice:
             self._access_metadata(addr, size, is_write, priority, on_complete)
             return
 
+        # Fast path: the access fits in one interleave unit (the common
+        # case — demand subblock reads), so there is exactly one chunk
+        # and ``on_complete`` can ride on the request directly instead
+        # of going through a countdown closure.
+        if addr % CHANNEL_INTERLEAVE_BYTES + size <= CHANNEL_INTERLEAVE_BYTES:
+            coords = self._mapper.map(addr)
+            request = DRAMRequest(
+                addr=addr,
+                size=size,
+                is_write=is_write,
+                priority=priority,
+                arrival=self._engine.now,
+                coords=coords,
+                on_complete=on_complete,
+            )
+            self.channels[coords.channel].submit(request)
+            return
+
         chunks = self._chunks(addr, size)
         remaining = len(chunks)
 

@@ -13,16 +13,20 @@ The mapper is shared by both devices; geometry comes from the device's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.dram.timing import DRAMTimings
 
 CHANNEL_INTERLEAVE_BYTES = 64
 
 
-@dataclass(frozen=True)
-class DRAMCoordinates:
-    """Where a device-local address lands."""
+class DRAMCoordinates(NamedTuple):
+    """Where a device-local address lands.
+
+    A named tuple rather than a dataclass: one is built per chunk of
+    every device access, and tuple construction is the cheapest
+    immutable record CPython offers.
+    """
 
     channel: int
     bank: int

@@ -17,7 +17,7 @@ class Priority(IntEnum):
     BACKGROUND = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMRequest:
     """One channel-level transfer (at most one interleave unit, 64 B)."""
 

@@ -30,30 +30,49 @@ from repro.sim.config import SystemConfig, default_config
 from repro.stats.collectors import geometric_mean
 
 #: bump when the BENCH_*.json layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2: cells gained ``key``/``mshr_entries`` and the suites an
+#: MSHR-coalescing variant of the paper scheme.
+BENCH_SCHEMA_VERSION = 2
 
 #: pinned seed — throughput comparisons need identical event streams.
 BENCH_SEED = 1234
 
-#: the full suite: the paper's main comparison points on three
-#: memory-behaviour extremes (latency-bound mcf, low-locality milc,
-#: streaming lbm).
-FULL_SCHEMES = ["nonm", "cam", "pom", "silc"]
+#: MSHR size for the coalescing bench variants (the paper scheme with
+#: the transaction pipeline's request queue in front of it).
+BENCH_MSHR_ENTRIES = 32
+
+#: suites are (cell key, scheme, mshr_entries) triples; the key names
+#: the cell in the JSON and stays stable across schema versions.
+#: Full: the paper's main comparison points on three memory-behaviour
+#: extremes (latency-bound mcf, low-locality milc, streaming lbm).
+FULL_VARIANTS = [
+    ("nonm", "nonm", 0),
+    ("cam", "cam", 0),
+    ("pom", "pom", 0),
+    ("silc", "silc", 0),
+    ("silc-mshr32", "silc", BENCH_MSHR_ENTRIES),
+]
 FULL_WORKLOADS = ["mcf", "milc", "lbm"]
 FULL_MISSES = 4000
 
 #: the quick suite (CI-sized): baseline + the paper scheme on one
-#: workload.
-QUICK_SCHEMES = ["nonm", "silc"]
+#: workload, with and without the MSHR in front.
+QUICK_VARIANTS = [
+    ("nonm", "nonm", 0),
+    ("silc", "silc", 0),
+    ("silc-mshr32", "silc", BENCH_MSHR_ENTRIES),
+]
 QUICK_WORKLOADS = ["mcf"]
 QUICK_MISSES = 1500
 
 
 @dataclass
 class BenchCell:
-    """Timing + headline figures for one (scheme, workload) run."""
+    """Timing + headline figures for one (variant, workload) run."""
 
+    key: str
     scheme: str
+    mshr_entries: int
     workload: str
     misses_per_core: int
     wall_seconds: float
@@ -70,9 +89,11 @@ def run_bench(quick: bool = False,
               config: Optional[SystemConfig] = None,
               today: Optional[str] = None) -> Dict:
     """Run the pinned set; returns the ``BENCH_*.json`` payload."""
+    import dataclasses
+
     from repro.experiments.runner import run_one
 
-    schemes = QUICK_SCHEMES if quick else FULL_SCHEMES
+    variants = QUICK_VARIANTS if quick else FULL_VARIANTS
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
     misses = QUICK_MISSES if quick else FULL_MISSES
     config = config or default_config()
@@ -80,15 +101,20 @@ def run_bench(quick: bool = False,
     cells: List[BenchCell] = []
     results: Dict[tuple, object] = {}
     for workload in workloads:
-        for scheme in schemes:
+        for key, scheme, mshr_entries in variants:
+            cell_config = (dataclasses.replace(config,
+                                               mshr_entries=mshr_entries)
+                           if mshr_entries else config)
             start = time.perf_counter()
-            result = run_one(scheme, workload, config,
+            result = run_one(scheme, workload, cell_config,
                              misses_per_core=misses, seed=BENCH_SEED)
             wall = time.perf_counter() - start
-            results[(scheme, workload)] = result
+            results[(key, workload)] = result
             accesses = misses * config.cores
             cells.append(BenchCell(
+                key=key,
                 scheme=scheme,
+                mshr_entries=mshr_entries,
                 workload=workload,
                 misses_per_core=misses,
                 wall_seconds=round(wall, 4),
@@ -99,18 +125,18 @@ def run_bench(quick: bool = False,
             ))
 
     # headline figures of merit: per-workload speedups over the no-NM
-    # baseline, plus each scheme's geomean — the numbers Figs. 6/7 plot.
+    # baseline, plus each variant's geomean — the numbers Figs. 6/7 plot.
     speedups: Dict[str, Dict[str, float]] = {}
-    for scheme in schemes:
-        if scheme == "nonm":
+    for key, _scheme, _mshr in variants:
+        if key == "nonm":
             continue
         per_wl = {
-            wl: round(results[(scheme, wl)].speedup_over(
+            wl: round(results[(key, wl)].speedup_over(
                 results[("nonm", wl)]), 4)
             for wl in workloads
         }
         per_wl["geomean"] = round(geometric_mean(list(per_wl.values())), 4)
-        speedups[scheme] = per_wl
+        speedups[key] = per_wl
 
     total_wall = sum(c.wall_seconds for c in cells)
     total_accesses = sum(c.accesses for c in cells)

@@ -67,8 +67,7 @@ class AlloyCacheScheme(MemoryScheme):
             self.hits += 1
             if is_write:
                 self._slot[slot] = (line, True)
-            plan = AccessPlan(serviced_from=Level.NM, stages=[[tad_read]],
-                              note="hit")
+            plan = AccessPlan.single(Level.NM, tad_read, "hit")
             self.record_plan(plan)
             return plan
 
@@ -83,12 +82,10 @@ class AlloyCacheScheme(MemoryScheme):
         background.append(Op(Level.NM, slot * SUBBLOCK_BYTES, TAD_BYTES, True))
         self._slot[slot] = (line, is_write)
         plan = AccessPlan(
-            serviced_from=Level.FM,
-            stages=[[tad_read],
-                    [Op(Level.FM, line * SUBBLOCK_BYTES, SUBBLOCK_BYTES, False)]],
-            background=background,
-            note="miss",
-        )
+            Level.FM,
+            [[tad_read],
+             [Op(Level.FM, line * SUBBLOCK_BYTES, SUBBLOCK_BYTES, False)]],
+            background, False, "miss")
         self.record_plan(plan)
         return plan
 

@@ -49,21 +49,31 @@ class Level(Enum):
     FM = "fm"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
-    """One device operation: ``size`` bytes at device-local ``addr``."""
+    """One device operation: ``size`` bytes at device-local ``addr``.
+
+    Allocation-lean: plain slotted fields, no ``__post_init__`` — a
+    simulation constructs millions of these and the per-op sanity check
+    is hoisted into :meth:`validate`, which the differential oracle
+    (and any test that wants it) calls explicitly.  The devices still
+    bounds-check every access against their capacity, so a malformed op
+    cannot silently corrupt a run even without the oracle."""
 
     level: Level
     addr: int
     size: int
     is_write: bool
 
-    def __post_init__(self) -> None:
+    def validate(self) -> "Op":
+        """Debug-only sanity check (raises ``ValueError``); returns the
+        op so call sites can chain it."""
         if self.addr < 0 or self.size <= 0:
             raise ValueError("op must have non-negative addr, positive size")
+        return self
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessPlan:
     """What one LLC miss costs and where it was serviced from."""
 
@@ -75,6 +85,19 @@ class AccessPlan:
     #: free-form tag used by tests ("row" of Table I, etc.)
     note: str = ""
 
+    # cheap constructors for the hot common shapes -----------------------
+    @classmethod
+    def single(cls, serviced_from: Level, op: Op, note: str = "",
+               bypassed: bool = False) -> "AccessPlan":
+        """One critical-path op, no background — the hot-hit shape."""
+        return cls(serviced_from, [[op]], [], bypassed, note)
+
+    @classmethod
+    def background_only(cls, serviced_from: Level, ops: List[Op],
+                        note: str = "") -> "AccessPlan":
+        """No critical path (writebacks, pure installs)."""
+        return cls(serviced_from, [], ops, False, note)
+
     def critical_ops(self) -> List[Op]:
         """All critical-path operations, flattened across stages."""
         return [op for stage in self.stages for op in stage]
@@ -84,6 +107,15 @@ class AccessPlan:
         return sum(op.size for op in self.critical_ops()) + sum(
             op.size for op in self.background
         )
+
+    def validate(self) -> "AccessPlan":
+        """Debug-only: validate every op (see :meth:`Op.validate`)."""
+        for stage in self.stages:
+            for op in stage:
+                op.validate()
+        for op in self.background:
+            op.validate()
+        return self
 
 
 @dataclass
@@ -147,8 +179,8 @@ class MemoryScheme(abc.ABC):
         Pure background traffic; does not move data or update metadata.
         """
         level, offset = self.locate(paddr)
-        op = Op(level, offset - offset % 64, 64, is_write=True)
-        return AccessPlan(serviced_from=level, background=[op])
+        op = Op(level, offset - offset % 64, 64, True)
+        return AccessPlan.background_only(level, [op])
 
     def epoch_period_cycles(self) -> Optional[float]:
         """Epoch-driven schemes (HMA) return their interval; others None."""

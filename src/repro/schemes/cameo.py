@@ -57,18 +57,13 @@ class CameoScheme(MemoryScheme):
         group = sb % self.num_slots
         tag_read = Op(Level.NM, group * SUBBLOCK_BYTES, DATA_PLUS_META_BYTES, False)
         if self._present[group] == sb:
-            return AccessPlan(serviced_from=Level.NM, stages=[[tag_read]],
-                              note="nm-hit")
+            return AccessPlan.single(Level.NM, tag_read, "nm-hit")
 
         home = self._home_of.get(sb, sb)
         fm_read = Op(Level.FM, self._fm_offset_of_subblock(home), SUBBLOCK_BYTES, False)
         background = self._swap_in(group, sb, home)
         return AccessPlan(
-            serviced_from=Level.FM,
-            stages=[[tag_read], [fm_read]],
-            background=background,
-            note="fm-swap",
-        )
+            Level.FM, [[tag_read], [fm_read]], background, False, "fm-swap")
 
     def _swap_in(self, group: int, sb: int, home: int) -> List[Op]:
         """Install ``sb`` (read from FM ``home``) into NM slot ``group``,

@@ -82,18 +82,15 @@ class HmaScheme(MemoryScheme):
 
         frame = self._frame_of.get(block)
         if frame is not None:
-            plan = AccessPlan(
-                serviced_from=Level.NM,
-                stages=[[Op(Level.NM, frame * BLOCK_BYTES + aligned,
-                            SUBBLOCK_BYTES, False)]],
-            )
+            plan = AccessPlan.single(
+                Level.NM, Op(Level.NM, frame * BLOCK_BYTES + aligned,
+                             SUBBLOCK_BYTES, False))
         else:
             home = self._home_of.get(block, block)
-            plan = AccessPlan(
-                serviced_from=Level.FM,
-                stages=[[Op(Level.FM, self._fm_offset_of_block(home) + aligned,
-                            SUBBLOCK_BYTES, False)]],
-            )
+            plan = AccessPlan.single(
+                Level.FM, Op(Level.FM,
+                             self._fm_offset_of_block(home) + aligned,
+                             SUBBLOCK_BYTES, False))
         self.record_plan(plan)
         return plan
 

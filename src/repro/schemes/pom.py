@@ -79,12 +79,9 @@ class PomScheme(MemoryScheme):
 
         if self._present[frame] == block:
             self._occupant_count[frame] += 1
-            plan = AccessPlan(
-                serviced_from=Level.NM,
-                stages=meta_stage + [[Op(Level.NM, frame * BLOCK_BYTES + aligned,
-                                         SUBBLOCK_BYTES, False)]],
-                note="nm-hit",
-            )
+            meta_stage.append([Op(Level.NM, frame * BLOCK_BYTES + aligned,
+                                  SUBBLOCK_BYTES, False)])
+            plan = AccessPlan(Level.NM, meta_stage, [], False, "nm-hit")
             self.record_plan(plan)
             return plan
 
@@ -94,12 +91,9 @@ class PomScheme(MemoryScheme):
         self._counters[block] = self._counters.get(block, 0) + 1
         if self._counters[block] >= self._occupant_count[frame] + self.threshold:
             background = self._migrate(frame, block, home)
-        plan = AccessPlan(
-            serviced_from=Level.FM,
-            stages=meta_stage + [[Op(Level.FM, fm_offset, SUBBLOCK_BYTES, False)]],
-            background=background,
-            note="fm" + ("-migrate" if background else ""),
-        )
+        meta_stage.append([Op(Level.FM, fm_offset, SUBBLOCK_BYTES, False)])
+        plan = AccessPlan(Level.FM, meta_stage, background, False,
+                          "fm-migrate" if background else "fm")
         self.record_plan(plan)
         return plan
 

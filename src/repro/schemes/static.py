@@ -32,11 +32,8 @@ class StaticScheme(MemoryScheme):
         self.on_memory_access()
         level, offset = self.locate(paddr)
         aligned = offset - offset % 64
-        plan = AccessPlan(
-            serviced_from=level,
-            stages=[[self._op(level, aligned, is_write)]],
-            note="static",
-        )
+        plan = AccessPlan.single(
+            level, self._op(level, aligned, is_write), "static")
         self.record_plan(plan)
         return plan
 

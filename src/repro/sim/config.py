@@ -144,6 +144,17 @@ class SystemConfig:
     #: merit are unchanged — and because the field is part of this
     #: config it participates in the experiment executor's cache key.
     telemetry_window: int = 0
+    #: MSHR (miss-status holding register) file entries in front of the
+    #: flat-memory controller.  0 (default) is the *compatibility*
+    #: value: misses flow straight to the controller exactly as before
+    #: the transaction-pipeline refactor existed, and results are
+    #: bit-identical to pre-MSHR runs.  N > 0 bounds the number of
+    #: distinct in-flight misses: same-subblock misses coalesce onto one
+    #: transaction (all waiters wake on its completion) and a full file
+    #: is a structural stall — arrivals queue until an entry frees.
+    #: Like the knobs above, the field is part of this config and so
+    #: participates in the experiment executor's cache key.
+    mshr_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.nm_bytes % BLOCK_BYTES:
@@ -156,6 +167,8 @@ class SystemConfig:
             raise ValueError("check_interval must be >= 0")
         if self.telemetry_window < 0:
             raise ValueError("telemetry_window must be >= 0")
+        if self.mshr_entries < 0:
+            raise ValueError("mshr_entries must be >= 0")
 
     # ------------------------------------------------------------------
     # derived quantities

@@ -9,12 +9,26 @@ The engine is a plain binary-heap event loop: components schedule
 callbacks at absolute or relative times and the loop dispatches them in
 timestamp order.  Ties are broken by insertion order so simulations are
 fully deterministic for a given seed.
+
+Hot-path notes: entries are 4-element *lists* (heapq compares them
+element-wise exactly like tuples, and the unique ``seq`` tie-break means
+the callback itself is never compared) recycled through a small free
+list, so steady-state dispatch allocates nothing per event.  Timestamps
+stay whatever numeric type the caller scheduled — pure integer-cycle
+delays (trace gaps, epoch periods) never get coerced to float, so
+int-only event chains keep exact integer arithmetic.  ``run`` without a
+horizon or watchdog takes a specialised loop with no per-event limit
+checks.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
+
+#: recycled event entries kept per engine; beyond this they are dropped
+#: to the allocator (a bound so a burst can't pin memory forever).
+_FREE_LIST_CAP = 4096
 
 
 class SimulationError(RuntimeError):
@@ -38,9 +52,12 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        #: heap of ``[when, seq, fn, args]`` entries (lists, recycled).
+        self._queue: List[list] = []
+        self._free: List[list] = []
         self._seq = 0
         self._running = False
+        self._halt = False
         self.events_dispatched = 0
 
     # ------------------------------------------------------------------
@@ -50,7 +67,7 @@ class Engine:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} cycles in the past")
-        self.schedule_at(self.now + delay, fn, *args)
+        self._push(self.now + delay, fn, args)
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``when``."""
@@ -58,7 +75,19 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {when}, current time is {self.now}"
             )
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        self._push(when, fn, args)
+
+    def _push(self, when: float, fn: Callable[..., None], args: tuple) -> None:
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = when
+            entry[1] = self._seq
+            entry[2] = fn
+            entry[3] = args
+        else:
+            entry = [when, self._seq, fn, args]
+        heapq.heappush(self._queue, entry)
         self._seq += 1
 
     def schedule_every(self, period: float, fn: Callable[[], None],
@@ -91,41 +120,85 @@ class Engine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Stop the running ``run`` loop after the current event's
+        callback returns (remaining events stay queued).  A no-op when
+        nothing is running."""
+        self._halt = True
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Dispatch events until the queue drains.
+        """Dispatch events until the queue drains (or :meth:`halt`).
 
         ``until`` stops the clock at a horizon (events beyond it stay
-        queued); ``max_events`` bounds the number of dispatches, which the
-        test-suite uses as a watchdog against runaway simulations.
+        queued); ``max_events`` bounds the number of dispatches — the
+        watchdog the test-suite uses against runaway simulations.
+        Watchdog semantics (shared with ``System.run``): exactly
+        ``max_events`` dispatches are allowed; the engine raises when a
+        further event would have to be dispatched, so a queue of exactly
+        ``max_events`` events completes cleanly.
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._halt = False
+        queue = self._queue
+        free = self._free
+        heappop = heapq.heappop
         dispatched = 0
         try:
-            while self._queue:
-                when, _seq, fn, args = self._queue[0]
+            if until is None and max_events is None:
+                # fast path: no horizon, no watchdog — nothing to check
+                # per event beyond the halt flag.
+                while queue:
+                    entry = heappop(queue)
+                    self.now = entry[0]
+                    fn = entry[2]
+                    args = entry[3]
+                    entry[2] = entry[3] = None
+                    if len(free) < _FREE_LIST_CAP:
+                        free.append(entry)
+                    fn(*args)
+                    dispatched += 1
+                    if self._halt:
+                        self._halt = False
+                        break
+                return
+            while queue:
+                when = queue[0][0]
                 if until is not None and when > until:
                     self.now = until
                     return
-                heapq.heappop(self._queue)
-                self.now = when
-                fn(*args)
-                dispatched += 1
-                self.events_dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
+                entry = heappop(queue)
+                self.now = when
+                fn = entry[2]
+                args = entry[3]
+                entry[2] = entry[3] = None
+                if len(free) < _FREE_LIST_CAP:
+                    free.append(entry)
+                fn(*args)
+                dispatched += 1
+                if self._halt:
+                    self._halt = False
+                    return
         finally:
+            self.events_dispatched += dispatched
             self._running = False
 
     def step(self) -> bool:
         """Dispatch a single event.  Returns False when the queue is empty."""
         if not self._queue:
             return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self.now = when
+        entry = heapq.heappop(self._queue)
+        self.now = entry[0]
+        fn = entry[2]
+        args = entry[3]
+        entry[2] = entry[3] = None
+        if len(self._free) < _FREE_LIST_CAP:
+            self._free.append(entry)
         fn(*args)
         self.events_dispatched += 1
         return True

@@ -86,6 +86,9 @@ class ValidationOracle:
 
     def after_access(self, paddr: int, is_write: bool,
                      plan: AccessPlan) -> None:
+        # per-op sanity check, hoisted out of Op.__post_init__ onto the
+        # checked path (unchecked runs construct ops validation-free)
+        plan.validate()
         sid = paddr // SUBBLOCK_BYTES
         level, slot = self.shadow.location(sid)
         if plan.serviced_from is not level:
@@ -115,6 +118,7 @@ class ValidationOracle:
     def after_writeback(self, paddr: int, plan: AccessPlan) -> None:
         """LLC dirty eviction: the write must land where the data lives,
         and must not move anything."""
+        plan.validate()
         level, slot = self.shadow.location(paddr // SUBBLOCK_BYTES)
         if plan.serviced_from is not level:
             raise OracleViolation(
@@ -126,6 +130,9 @@ class ValidationOracle:
     def after_epoch(self, ops: Iterable[Op]) -> None:
         """Epoch-based bulk migration (HMA): replay and re-verify the
         scheme's bookkeeping at its most dangerous moment."""
+        ops = list(ops)
+        for op in ops:
+            op.validate()
         self.shadow.apply(ops)
         self.scheme.check_invariants()
 

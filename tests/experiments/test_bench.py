@@ -8,7 +8,7 @@ import pytest
 from repro.experiments.bench import (
     BENCH_SCHEMA_VERSION,
     BENCH_SEED,
-    QUICK_SCHEMES,
+    QUICK_VARIANTS,
     QUICK_WORKLOADS,
     run_bench,
     write_bench,
@@ -35,12 +35,22 @@ def test_payload_schema_and_pinning(quick_payload):
 
 def test_payload_has_one_cell_per_pair(quick_payload):
     cells = quick_payload["cells"]
-    pairs = {(c["scheme"], c["workload"]) for c in cells}
-    assert pairs == {(s, w) for s in QUICK_SCHEMES for w in QUICK_WORKLOADS}
+    pairs = {(c["key"], c["workload"]) for c in cells}
+    assert pairs == {(key, w)
+                     for key, _s, _m in QUICK_VARIANTS
+                     for w in QUICK_WORKLOADS}
     for cell in cells:
         assert cell["wall_seconds"] >= 0.0
         assert cell["accesses"] > 0
         assert cell["elapsed_cycles"] > 0
+
+
+def test_mshr_variant_pins_scheme_and_entries(quick_payload):
+    variants = {c["key"]: c for c in quick_payload["cells"]}
+    mshr_cell = variants["silc-mshr32"]
+    assert mshr_cell["scheme"] == "silc"
+    assert mshr_cell["mshr_entries"] == 32
+    assert variants["silc"]["mshr_entries"] == 0
 
 
 def test_payload_throughput_totals(quick_payload):
@@ -53,8 +63,8 @@ def test_payload_throughput_totals(quick_payload):
 
 def test_payload_figures_of_merit(quick_payload):
     speedups = quick_payload["figures_of_merit"]["speedup_over_nonm"]
-    # every non-baseline scheme has a per-workload speedup + geomean
-    assert set(speedups) == set(QUICK_SCHEMES) - {"nonm"}
+    # every non-baseline variant has a per-workload speedup + geomean
+    assert set(speedups) == {k for k, _s, _m in QUICK_VARIANTS} - {"nonm"}
     for per_wl in speedups.values():
         assert set(per_wl) == set(QUICK_WORKLOADS) | {"geomean"}
         for value in per_wl.values():

@@ -1,0 +1,81 @@
+"""Tests for scripts/check_bench_regression.py (the CI bench gate)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+from check_bench_regression import main  # noqa: E402
+
+
+def _payload(rates, total):
+    return {
+        "cells": [
+            {"key": key, "scheme": key.split("-")[0], "workload": wl,
+             "accesses_per_sec": rate}
+            for (key, wl), rate in rates.items()
+        ],
+        "throughput": {"accesses_per_sec": total},
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASE = {("nonm", "mcf"): 20000.0, ("silc", "mcf"): 10000.0}
+
+
+def test_passes_within_threshold(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        {("nonm", "mcf"): 16000.0, ("silc", "mcf"): 9000.0}, 12000.0))
+    assert main([base, cur]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_fails_on_per_cell_regression(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        {("nonm", "mcf"): 20000.0, ("silc", "mcf"): 5000.0}, 14000.0))
+    assert main([base, cur]) == 1
+    assert "silc/mcf" in capsys.readouterr().err
+
+
+def test_fails_on_total_regression(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    # both cells just inside the per-cell threshold, total just outside
+    cur = _write(tmp_path, "cur.json", _payload(
+        {("nonm", "mcf"): 15200.0, ("silc", "mcf"): 7600.0}, 11000.0))
+    assert main([base, cur]) == 1
+    assert "total" in capsys.readouterr().err
+
+
+def test_new_and_missing_cells_are_notes_not_failures(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        {("nonm", "mcf"): 20000.0, ("silc-mshr32", "mcf"): 9000.0}, 15000.0))
+    assert main([base, cur]) == 0
+    out = capsys.readouterr().out
+    assert "missing from current run" in out
+    assert "new cell silc-mshr32/mcf" in out
+
+
+def test_threshold_validation(tmp_path):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    with pytest.raises(SystemExit):
+        main([base, base, "--threshold", "1.5"])
+
+
+def test_tighter_threshold_trips(tmp_path):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        {("nonm", "mcf"): 17000.0, ("silc", "mcf"): 8500.0}, 12750.0))
+    assert main([base, cur]) == 0          # 15% drop, default 25% gate
+    assert main([base, cur, "--threshold", "0.1"]) == 1

@@ -1,0 +1,32 @@
+"""Byte-identity regression: fixed config+seed runs must reproduce the
+committed golden JSONs exactly.
+
+The goldens were captured at the pre-transaction-pipeline seed, so this
+suite is the proof that the MSHR/transaction refactor's compatibility
+mode (``mshr_entries=0``) and the allocation-lean hot path changed *no*
+simulated behaviour: every counter, timestamp and derived float in
+``RunResult.to_dict()`` is compared byte-for-byte.
+
+Regenerate with ``python scripts/gen_golden_results.py`` only when a
+change intends to alter simulated behaviour.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+from gen_golden_results import GOLDEN_DIR, SCHEMES, WORKLOAD, golden_json  # noqa: E402
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_run_matches_golden(scheme):
+    golden = (GOLDEN_DIR / f"{scheme}-{WORKLOAD}.json").read_text()
+    assert golden_json(scheme) == golden, (
+        f"{scheme} RunResult JSON drifted from the committed golden; if "
+        "the change is intentional, regenerate via "
+        "scripts/gen_golden_results.py and explain why in the commit"
+    )

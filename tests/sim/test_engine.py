@@ -158,13 +158,56 @@ def test_max_events_watchdog_fires_at_exact_boundary():
 
 
 def test_max_events_equal_to_queue_size_does_not_trip_early():
+    """Unified watchdog semantics: exactly ``max_events`` dispatches are
+    allowed, so a queue of exactly that many events completes cleanly —
+    the engine raises only when *one more* would have to fire."""
     engine = Engine()
     fired = []
     for tag in range(4):
         engine.schedule(1, fired.append, tag)
-    with pytest.raises(SimulationError):
-        engine.run(max_events=4)
+    engine.run(max_events=4)
     assert fired == [0, 1, 2, 3]
+    assert engine.pending == 0
+
+
+def test_max_events_one_below_queue_size_trips():
+    """The other side of the boundary: one event too many raises, with
+    the allowed ``max_events`` dispatches already done."""
+    engine = Engine()
+    fired = []
+    for tag in range(4):
+        engine.schedule(1, fired.append, tag)
+    with pytest.raises(SimulationError, match="max_events=3"):
+        engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert engine.pending == 1
+
+
+def test_system_and_engine_watchdogs_agree_at_boundary():
+    """`System.run` and `Engine.run` share the watchdog contract; the
+    system-level watchdog must not fire on a run that needs exactly the
+    budgeted number of events (regression: the two used to disagree,
+    ``> max_events`` vs ``>= max_events``)."""
+    from repro.cpu.system import System
+    from repro.experiments.runner import SCHEMES
+    from repro.sim.config import default_config
+    from repro.workloads.spec import per_core_spec
+
+    def build():
+        config = default_config(scale=0.25)
+        setup = SCHEMES["nonm"]
+        return System(
+            config, scheme_factory=setup.factory,
+            workload=per_core_spec("mcf", config), misses_per_core=20,
+            alloc_policy=setup.alloc_policy, seed=3)
+
+    # measure the exact event budget, then rerun with precisely it
+    probe = build()
+    probe.run()
+    needed = probe.engine.events_dispatched
+    build().run(max_events=needed)  # exactly enough: must not raise
+    with pytest.raises(SimulationError, match="max_events"):
+        build().run(max_events=needed - 1)
 
 
 def test_run_is_not_reentrant():

@@ -44,10 +44,27 @@ def test_block_base_roundtrip():
 # access plans / ops
 # ----------------------------------------------------------------------
 def test_op_validation():
+    """Validation is hoisted out of ``__post_init__`` (constructing an
+    op is allocation-lean); the explicit debug check still rejects
+    malformed ops, and the oracle calls it on every checked plan."""
     with pytest.raises(ValueError):
-        Op(Level.NM, -1, 64, False)
+        Op(Level.NM, -1, 64, False).validate()
     with pytest.raises(ValueError):
-        Op(Level.FM, 0, 0, True)
+        Op(Level.FM, 0, 0, True).validate()
+    op = Op(Level.NM, 0, 64, False)
+    assert op.validate() is op  # chainable on well-formed ops
+
+
+def test_plan_validate_checks_every_op():
+    plan = AccessPlan(
+        serviced_from=Level.FM,
+        stages=[[Op(Level.NM, 0, 8, False)]],
+        background=[Op(Level.FM, 0, 0, True)],  # malformed
+    )
+    with pytest.raises(ValueError):
+        plan.validate()
+    ok = AccessPlan.single(Level.NM, Op(Level.NM, 0, 64, False))
+    assert ok.validate() is ok
 
 
 def test_empty_plan_totals():
