@@ -4,7 +4,7 @@
 Usage::
 
     python scripts/check_bench_regression.py BASELINE.json CURRENT.json \
-        [--threshold 0.25]
+        [--threshold 0.25] [--tail-threshold 0.10]
 
 Compares ``accesses_per_sec`` per cell (matched by cell key + workload)
 and in total; exits 1 when the current run is more than ``threshold``
@@ -15,6 +15,15 @@ legitimately grow), and speedups are always fine.
 Wall-clock thresholds this loose are deliberately insensitive to CI-host
 noise; they catch the "someone re-introduced a per-op allocation"
 class of regression, not single-digit jitter.
+
+Schema-v3 baselines additionally carry per-cell **request-latency
+tails** (``p95_latency``/``p99_latency``, simulation cycles, from an
+untimed span-sampled run).  Those are deterministic given the bench's
+pinned seed, so the gate is tighter (``--tail-threshold``, default
+10%): a current tail more than that above the baseline fails.  The gate
+is skipped for cells whose baseline lacks the fields or recorded
+``null`` (pre-v3 baselines, histogram overflow) — upgrading the
+baseline turns it on.
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ import argparse
 import json
 import sys
 
+#: tail fields gated per cell (simulation-cycle request latencies).
+TAIL_FIELDS = ("p95_latency", "p99_latency")
+
 
 def load_cells(path: str):
     with open(path) as fh:
@@ -30,9 +42,35 @@ def load_cells(path: str):
     cells = {}
     for cell in payload["cells"]:
         key = (cell.get("key", cell["scheme"]), cell["workload"])
-        cells[key] = cell["accesses_per_sec"]
+        cells[key] = {
+            "accesses_per_sec": cell["accesses_per_sec"],
+            "tails": {field: cell.get(field) for field in TAIL_FIELDS},
+        }
     total = payload["throughput"]["accesses_per_sec"]
     return cells, total
+
+
+def check_tails(label, base_cell, cur_cell, threshold, failures):
+    """Gate the deterministic latency tails of one matched cell."""
+    for field in TAIL_FIELDS:
+        base = base_cell["tails"].get(field)
+        cur = cur_cell["tails"].get(field)
+        if base is None:
+            continue  # pre-v3 baseline or overflow: nothing to gate
+        if cur is None:
+            # current histogram overflowed where the baseline did not —
+            # that IS a tail blow-up, not missing data.
+            failures.append(f"{label}:{field}")
+            print(f"  {label} {field}: {base:,.0f} -> overflow cyc"
+                  f"  <-- TAIL REGRESSION")
+            continue
+        ratio = cur / base if base else float("inf")
+        marker = ""
+        if ratio > 1 + threshold:
+            failures.append(f"{label}:{field}")
+            marker = "  <-- TAIL REGRESSION"
+        print(f"  {label} {field}: {base:,.0f} -> {cur:,.0f} cyc "
+              f"({ratio:.2f}x){marker}")
 
 
 def main(argv=None) -> int:
@@ -43,9 +81,16 @@ def main(argv=None) -> int:
                         metavar="FRACTION",
                         help="maximum tolerated throughput drop "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--tail-threshold", type=float, default=0.10,
+                        metavar="FRACTION",
+                        help="maximum tolerated p95/p99 request-latency "
+                             "growth (default 0.10 = 10%%; the tails are "
+                             "deterministic, so this can be tight)")
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be in (0, 1)")
+    if args.tail_threshold <= 0:
+        parser.error("--tail-threshold must be positive")
 
     base_cells, base_total = load_cells(args.baseline)
     cur_cells, cur_total = load_cells(args.current)
@@ -56,7 +101,8 @@ def main(argv=None) -> int:
         if key not in cur_cells:
             print(f"  note: cell {label} missing from current run")
             continue
-        base, cur = base_cells[key], cur_cells[key]
+        base = base_cells[key]["accesses_per_sec"]
+        cur = cur_cells[key]["accesses_per_sec"]
         ratio = cur / base if base else float("inf")
         marker = ""
         if ratio < 1 - args.threshold:
@@ -64,9 +110,12 @@ def main(argv=None) -> int:
             marker = "  <-- REGRESSION"
         print(f"  {label}: {base:,.0f} -> {cur:,.0f} acc/s "
               f"({ratio:.2f}x){marker}")
+        check_tails(label, base_cells[key], cur_cells[key],
+                    args.tail_threshold, failures)
     for key in sorted(set(cur_cells) - set(base_cells)):
         print(f"  note: new cell {key[0]}/{key[1]} "
-              f"({cur_cells[key]:,.0f} acc/s, no baseline)")
+              f"({cur_cells[key]['accesses_per_sec']:,.0f} acc/s, "
+              "no baseline)")
 
     total_ratio = cur_total / base_total if base_total else float("inf")
     marker = ""
@@ -77,10 +126,13 @@ def main(argv=None) -> int:
           f"({total_ratio:.2f}x){marker}")
 
     if failures:
-        print(f"FAIL: >{args.threshold:.0%} throughput regression in: "
+        print(f"FAIL: regression past thresholds "
+              f"(throughput {args.threshold:.0%}, "
+              f"tails {args.tail_threshold:.0%}) in: "
               f"{', '.join(failures)}", file=sys.stderr)
         return 1
-    print(f"OK: throughput within {args.threshold:.0%} of baseline")
+    print(f"OK: throughput within {args.threshold:.0%} and tails within "
+          f"{args.tail_threshold:.0%} of baseline")
     return 0
 
 

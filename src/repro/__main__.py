@@ -11,6 +11,7 @@ Commands
 ``trace``    workload trace file, or (``--scheme``) a Chrome event trace
 ``report``   regenerate EXPERIMENTS.md (the full evaluation grid)
 ``bench``    timed perf-regression suite -> ``BENCH_<date>.json``
+``analyze``  latency-attribution report from a telemetry artifact
 
 ``compare``, ``figure`` and ``report`` fan their (scheme x workload)
 cells out over ``--jobs N`` worker processes and memoise each cell in an
@@ -25,9 +26,18 @@ to ``results/telemetry/``, the cached commands store them next to each
 cell's cache entry.  The window is part of the cell hash, so telemetry
 runs never collide with plain ones in the cache.
 
+``--span-sample-rate N`` (implies ``--telemetry``) additionally rides a
+:class:`~repro.telemetry.spans.Span` on every Nth memory request,
+recording cycle-stamped stage transitions through the transaction
+pipeline; ``analyze`` then prints the Figure-6-style latency
+attribution (per-stage shares, per-Table-I-row tails, top coalescing
+chains) from the written series or trace file.
+
 Examples::
 
     python -m repro run silc mcf --misses 5000 --telemetry
+    python -m repro run silc mcf --misses 5000 --span-sample-rate 1
+    python -m repro analyze results/telemetry/silc-mcf.series.json
     python -m repro compare mcf --schemes cam pom silc --jobs 4
     python -m repro figure fig7 --jobs 8 --misses 6000
     python -m repro trace lbm /tmp/lbm.trc --misses 20000
@@ -104,6 +114,11 @@ def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--telemetry-window", type=int, default=None, metavar="CYCLES",
         help="sampling window in CPU cycles (implies --telemetry; "
              f"default {DEFAULT_TELEMETRY_WINDOW})")
+    sub_parser.add_argument(
+        "--span-sample-rate", type=int, default=None, metavar="N",
+        help="trace every Nth memory request through the pipeline as a"
+             " span (1 = every request; implies --telemetry); feed the"
+             " written artifact to 'repro analyze'")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -174,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-window", type=int, default=None, metavar="CYCLES",
         help="sampling window for --scheme traces "
              f"(default {DEFAULT_TELEMETRY_WINDOW})")
+    trace_p.add_argument(
+        "--span-sample-rate", type=int, default=None, metavar="N",
+        help="also ride spans on every Nth request so the written trace"
+             " carries request/stage slices and coalescing flow arrows")
 
     report_p = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (runs the full grid)")
@@ -190,6 +209,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--out-dir", default="results", metavar="DIR",
         help="where BENCH_<date>.json lands (default results/)")
+
+    analyze_p = sub.add_parser(
+        "analyze", help="latency-attribution report from a telemetry"
+                        " artifact (a span-enabled *.series.json, or a"
+                        " *.trace.json fallback)")
+    analyze_p.add_argument("path", help="series or trace artifact file")
+    analyze_p.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="coalescing chains to list (default 5)")
     return parser
 
 
@@ -205,15 +233,26 @@ def _with_check(config, args):
 
 
 def _with_telemetry(config, args):
-    """Fold ``--telemetry`` / ``--telemetry-window`` into a config."""
+    """Fold ``--telemetry`` / ``--telemetry-window`` /
+    ``--span-sample-rate`` into a config.  Span tracing implies
+    telemetry (the recorder emits into the event tracer), and both
+    fields are applied in one replace so ``__post_init__`` validates
+    the combination."""
     window = getattr(args, "telemetry_window", None)
-    if not getattr(args, "telemetry", False) and window is None:
+    rate = getattr(args, "span_sample_rate", None)
+    if (not getattr(args, "telemetry", False) and window is None
+            and rate is None):
         return config
     if window is None:
         window = DEFAULT_TELEMETRY_WINDOW
     if window <= 0:
         raise SystemExit("--telemetry-window must be a positive cycle count")
-    return dataclasses.replace(config, telemetry_window=window)
+    if rate is None:
+        rate = config.span_sample_rate
+    elif rate < 1:
+        raise SystemExit("--span-sample-rate must be >= 1")
+    return dataclasses.replace(config, telemetry_window=window,
+                               span_sample_rate=rate)
 
 
 def _with_mshr(config, args):
@@ -275,14 +314,23 @@ def _cmd_run(args) -> int:
     print(format_table(["metric", "value"], rows,
                        title=f"{SCHEMES[args.scheme].label} on {args.benchmark}"))
     if result.telemetry is not None:
+        from repro.telemetry import run_metadata
+
         snap = result.telemetry
+        meta = run_metadata(args.scheme, args.benchmark, args.seed, config,
+                            misses_per_core=args.misses)
         series, trace = write_artifacts(
-            args.telemetry_out, f"{args.scheme}-{args.benchmark}", snap)
+            args.telemetry_out, f"{args.scheme}-{args.benchmark}", snap,
+            meta=meta)
         print(f"telemetry: {len(snap['samples'])} samples "
               f"({snap['spilled_samples']} spilled), "
               f"{len(snap['events'])} trace events "
               f"({snap['dropped_events']} dropped)")
         print(f"  series: {series}\n  trace:  {trace}  (open in Perfetto)")
+        if "spans" in snap:
+            print(f"  spans:  {snap['spans']['spans']} recorded — run "
+                  f"'python -m repro analyze {series}' for the latency"
+                  " attribution")
     return 0
 
 
@@ -387,17 +435,25 @@ def _cmd_report(args) -> int:
 def _cmd_trace(args) -> int:
     config = default_config()
     if args.scheme is not None:
-        from repro.telemetry import write_trace
+        from repro.telemetry import run_metadata, write_trace
 
         window = args.telemetry_window or DEFAULT_TELEMETRY_WINDOW
         if window <= 0:
             raise SystemExit(
                 "--telemetry-window must be a positive cycle count")
-        config = dataclasses.replace(config, telemetry_window=window)
+        rate = args.span_sample_rate
+        if rate is not None and rate < 1:
+            raise SystemExit("--span-sample-rate must be >= 1")
+        config = dataclasses.replace(
+            config, telemetry_window=window,
+            span_sample_rate=rate if rate is not None else 0)
         result = run_one(args.scheme, args.benchmark, config,
                          misses_per_core=args.misses, seed=args.seed)
         snap = result.telemetry
-        write_trace(args.path, snap)
+        write_trace(args.path, snap,
+                    meta=run_metadata(args.scheme, args.benchmark,
+                                      args.seed, config,
+                                      misses_per_core=args.misses))
         print(f"wrote {len(snap['events'])} trace events "
               f"({snap['dropped_events']} dropped) to {args.path}; "
               "open in Perfetto or chrome://tracing")
@@ -415,16 +471,32 @@ def _cmd_bench(args) -> int:
     payload = run_bench(quick=args.quick)
     path = write_bench(payload, args.out_dir)
     throughput = payload["throughput"]
+    def _tail(value):
+        return f"{value:,.0f}" if value is not None else "-"
+
     print(format_table(
-        ["cell", "workload", "wall s", "accesses/s"],
+        ["cell", "workload", "wall s", "accesses/s", "p95 cyc", "p99 cyc"],
         [[c.get("key", c["scheme"]), c["workload"],
           f"{c['wall_seconds']:.2f}",
-          f"{c['accesses_per_sec']:,.0f}"] for c in payload["cells"]],
+          f"{c['accesses_per_sec']:,.0f}",
+          _tail(c.get("p95_latency")), _tail(c.get("p99_latency"))]
+         for c in payload["cells"]],
         title=f"bench ({'quick' if args.quick else 'full'})"))
     print(f"total: {throughput['total_accesses']:,} accesses in "
           f"{throughput['total_wall_seconds']:.2f}s "
           f"({throughput['accesses_per_sec']:,.0f}/s)")
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.telemetry.analyze import AnalyzeError, analyze
+
+    try:
+        print(analyze(args.path, top=args.top))
+    except AnalyzeError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -439,9 +511,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # stdout pipe closed early (e.g. `repro analyze ... | head`);
+        # detach stdout so the interpreter's flush-at-exit stays quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 1
+    raise SystemExit(code)

@@ -54,6 +54,13 @@ class SilcFmScheme(MemoryScheme):
     """The paper's contribution."""
 
     name = "silcfm"
+    #: Table I rows this scheme's plans can resolve to (plan notes plus
+    #: the ``+lock`` variants for lock-pinned hits) — the span-tracing
+    #: row vocabulary ``repro analyze`` reports against.
+    SPAN_ROWS = ("row1", "row1+lock", "row2", "row2-bypass",
+                 "row3", "row3-bypass", "row4", "row4+lock",
+                 "row5", "row5-bypass", "all-locked",
+                 "nm-displaced-by-lock")
 
     def __init__(self, space: AddressSpace,
                  config: Optional[SilcFmConfig] = None) -> None:
@@ -214,7 +221,8 @@ class SilcFmScheme(MemoryScheme):
             frame.bump_fm()
             if frame.locked or frame.bit(index):
                 plan = AccessPlan.single(
-                    Level.NM, self._nm_sub_op(way, index), "row1")
+                    Level.NM, self._nm_sub_op(way, index), "row1",
+                    locked=frame.locked)
             elif self._bypassing:
                 plan = self._bypass_plan(block, index, note="row2-bypass")
             else:
@@ -233,7 +241,8 @@ class SilcFmScheme(MemoryScheme):
         if way is None:
             self.all_locked_fallbacks += 1
             plan = AccessPlan.single(
-                Level.FM, self._fm_sub_op(block, index), "all-locked")
+                Level.FM, self._fm_sub_op(block, index), "all-locked",
+                locked=True)
             return plan, self._set_ways(block % self.num_sets)[0], False
 
         background: List[Op] = []
@@ -262,7 +271,7 @@ class SilcFmScheme(MemoryScheme):
             # the native page is fully displaced to the partner's home
             plan = AccessPlan.single(
                 Level.FM, self._fm_sub_op(frame.remap, index),
-                "nm-displaced-by-lock")
+                "nm-displaced-by-lock", locked=True)
         elif frame.remap is not None and not frame.locked and frame.bit(index):
             if self._bypassing:
                 plan = self._bypass_plan(frame.remap, index, note="row3-bypass")
@@ -273,7 +282,8 @@ class SilcFmScheme(MemoryScheme):
                     False, "row3")
         else:
             plan = AccessPlan.single(
-                Level.NM, self._nm_sub_op(frame_idx, index), "row4")
+                Level.NM, self._nm_sub_op(frame_idx, index), "row4",
+                locked=frame.locked)
         self._maybe_lock_nm(frame_idx)
         return plan, frame_idx
 

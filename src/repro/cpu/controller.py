@@ -31,6 +31,7 @@ from repro.dram.device import MemoryDevice
 from repro.dram.request import Priority
 from repro.schemes.base import AccessPlan, Level, MemoryScheme
 from repro.sim.engine import Engine
+from repro.telemetry.spans import stage_label
 
 if TYPE_CHECKING:
     from repro.validate.oracle import ValidationOracle
@@ -92,6 +93,10 @@ class FlatMemoryController:
         self.stats = ControllerStats()
         #: transactions dispatched into the scheme but not yet complete.
         self.inflight = 0
+        #: span recorder (:class:`repro.telemetry.spans.SpanRecorder`)
+        #: when span tracing is enabled; None keeps the hot path to
+        #: ``is None`` checks on transaction lifecycle events.
+        self.spans = None
         self._stall_until = 0.0
         period = scheme.epoch_period_cycles()
         if period is not None:
@@ -126,6 +131,9 @@ class FlatMemoryController:
         test-suite): wrap one miss in a single-waiter transaction."""
         txn = MemoryRequest(paddr, is_write, pc, self._engine.now)
         txn.waiters.append(on_done)
+        spans = self.spans
+        if spans is not None and spans.arrival():
+            txn.span = spans.start(paddr, is_write)
         self.handle_request(txn)
 
     def handle_request(self, txn: MemoryRequest) -> None:
@@ -146,6 +154,11 @@ class FlatMemoryController:
         plan = self.scheme.access(txn.paddr, txn.is_write, txn.pc)
         if oracle is not None:
             oracle.after_access(txn.paddr, txn.is_write, plan)
+        span = txn.span
+        if span is not None:
+            span.dispatch(now)
+            span.decide(self.scheme.span_row(plan),
+                        plan.serviced_from.value, plan.bypassed, now)
         txn.plan = plan
         txn.stages = plan.stages
         self._account(plan)
@@ -180,16 +193,26 @@ class FlatMemoryController:
         i = txn.stage_index + 1
         nm = self._nm
         fm = self._fm
+        span = txn.span
+        if span is not None:
+            span.end_stage(when)
         while i < n:
             ops = stages[i]
             if ops:
                 txn.stage_index = i
                 txn.remaining_ops = len(ops)
                 op_done = txn.op_done
-                for op in ops:
-                    (nm if op.level is Level.NM else fm).access(
-                        op.addr, op.size, op.is_write,
-                        Priority.DEMAND, op_done)
+                if span is None:
+                    for op in ops:
+                        (nm if op.level is Level.NM else fm).access(
+                            op.addr, op.size, op.is_write,
+                            Priority.DEMAND, op_done)
+                else:
+                    span.begin_stage(stage_label(ops), when)
+                    for op in ops:
+                        (nm if op.level is Level.NM else fm).access(
+                            op.addr, op.size, op.is_write,
+                            Priority.DEMAND, op_done, span)
                 return
             i += 1
         self._complete(txn, self._engine.now)
@@ -201,6 +224,8 @@ class FlatMemoryController:
         stats.total_miss_latency += when - txn.dispatch_time
         txn.state = COMPLETE
         txn.finish_time = when
+        if txn.span is not None:
+            self.spans.retire(txn, when)
         mshr = txn.mshr
         if mshr is not None:
             mshr.release(txn, when)

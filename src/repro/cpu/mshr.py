@@ -71,7 +71,8 @@ class MemoryRequest:
     __slots__ = ("paddr", "is_write", "pc", "state",
                  "issue_time", "dispatch_time", "finish_time",
                  "plan", "stages", "stage_index", "remaining_ops",
-                 "waiters", "coalesced", "line", "mshr", "controller")
+                 "waiters", "coalesced", "line", "mshr", "controller",
+                 "span")
 
     def __init__(self, paddr: int, is_write: bool, pc: int,
                  issue_time: float) -> None:
@@ -86,6 +87,9 @@ class MemoryRequest:
         self.stages = None
         self.stage_index = -1
         self.remaining_ops = 0
+        #: per-request trace span (:mod:`repro.telemetry.spans`) when
+        #: this transaction was sampled; None otherwise.
+        self.span = None
         #: ``on_done(when)`` callbacks woken at completion; the first is
         #: the issuing core's, the rest are coalesced same-subblock
         #: misses.
@@ -144,10 +148,18 @@ class MSHRFile:
         self._shift = subblock_bytes.bit_length() - 1
         #: in-flight transactions keyed by subblock line number.
         self._table: Dict[int, MemoryRequest] = {}
-        #: FIFO of misses that arrived while the file was full.
-        self._pending: Deque[Tuple[int, bool, int, Callable]] = deque()
+        #: FIFO of misses that arrived while the file was full; the last
+        #: element is the arrival time when the miss was span-sampled,
+        #: None otherwise (the sampling decision happens at arrival so
+        #: the modulo sequence is queue-independent).
+        self._pending: Deque[Tuple[int, bool, int, Callable,
+                                   Optional[float]]] = deque()
         self._draining = False
         self.stats = MSHRStats()
+        #: span recorder (:class:`repro.telemetry.spans.SpanRecorder`)
+        #: when span tracing is enabled; None keeps the hot path to one
+        #: ``is None`` check.
+        self.spans = None
 
     # ------------------------------------------------------------------
     @property
@@ -175,26 +187,37 @@ class MSHRFile:
         ``FlatMemoryController.handle_miss``)."""
         line = paddr >> self._shift
         txn = self._table.get(line)
+        spans = self.spans
         if txn is not None:
             # coalesce: join the in-flight transaction's waiter list.
             txn.waiters.append(on_done)
             txn.coalesced += 1
             self.stats.coalesced += 1
+            if spans is not None:
+                spans.coalesce(txn)
             return
+        span_issue = None
+        if spans is not None and spans.arrival():
+            span_issue = self._engine.now
         if len(self._table) >= self.entries:
             self.stats.structural_stalls += 1
-            self._pending.append((paddr, is_write, pc, on_done))
+            self._pending.append((paddr, is_write, pc, on_done, span_issue))
             if len(self._pending) > self.stats.peak_pending:
                 self.stats.peak_pending = len(self._pending)
             return
-        self._allocate(line, paddr, is_write, pc, on_done)
+        self._allocate(line, paddr, is_write, pc, on_done, span_issue)
 
     def _allocate(self, line: int, paddr: int, is_write: bool, pc: int,
-                  on_done: Callable[[float], None]) -> None:
+                  on_done: Callable[[float], None],
+                  span_issue: Optional[float] = None) -> None:
         txn = MemoryRequest(paddr, is_write, pc, self._engine.now)
         txn.line = line
         txn.mshr = self
         txn.waiters.append(on_done)
+        if span_issue is not None:
+            span = self.spans.start(paddr, is_write, span_issue)
+            span.admit(self._engine.now)
+            txn.span = span
         self._table[line] = txn
         self.stats.allocations += 1
         if len(self._table) > self.stats.peak_occupancy:
@@ -216,14 +239,20 @@ class MSHRFile:
         self._draining = True
         try:
             while self._pending and len(self._table) < self.entries:
-                paddr, is_write, pc, on_done = self._pending.popleft()
+                paddr, is_write, pc, on_done, span_issue = \
+                    self._pending.popleft()
                 line = paddr >> self._shift
                 cur = self._table.get(line)
                 if cur is not None:
                     cur.waiters.append(on_done)
                     cur.coalesced += 1
                     self.stats.coalesced += 1
+                    if self.spans is not None:
+                        # the queued miss coalesced away; its sampled
+                        # arrival becomes a sibling join on the survivor
+                        self.spans.coalesce(cur)
                 else:
-                    self._allocate(line, paddr, is_write, pc, on_done)
+                    self._allocate(line, paddr, is_write, pc, on_done,
+                                   span_issue)
         finally:
             self._draining = False

@@ -218,8 +218,19 @@ class System:
             self.cores.append(core)
 
         self.telemetry: Optional[Telemetry] = None
+        self.spans = None
         if config.telemetry_window > 0:
             self._setup_telemetry()
+        if config.span_sample_rate > 0:
+            # config validation guarantees telemetry exists here
+            from repro.telemetry.spans import SpanRecorder
+
+            self.spans = SpanRecorder(
+                config.span_sample_rate, self.engine,
+                tracer=self.telemetry.tracer)
+            self.controller.spans = self.spans
+            if self.mshr is not None:
+                self.mshr.spans = self.spans
 
     # ------------------------------------------------------------------
     def _setup_telemetry(self) -> None:
@@ -279,6 +290,8 @@ class System:
             self.controller.stats.reset()
             if self.mshr is not None:
                 self.mshr.stats.reset()
+            if self.spans is not None:
+                self.spans.reset_stats()
             for device in (self.nm_device, self.fm_device):
                 for channel in device.channels:
                     channel.stats.reset()
@@ -333,9 +346,11 @@ class System:
             # end-of-run bijection proof: every subblock accounted for.
             self.oracle.full_check()
         if self.telemetry is not None:
-            # capture the partial final window (the periodic sampler
-            # stopped when the last core finished)
-            self.telemetry.sample_now()
+            # flush the partial final window (the periodic sampler
+            # stopped when the last core finished); drain() is
+            # idempotent, so a run that halted exactly on a window
+            # boundary does not get a duplicate zero-width sample
+            self.telemetry.drain()
         return self._result(elapsed)
 
     def _result(self, elapsed: float) -> RunResult:
@@ -364,6 +379,18 @@ class System:
                 self.mshr.stats.structural_stalls)
             extras["mshr_peak_occupancy"] = float(
                 self.mshr.stats.peak_occupancy)
+        telemetry_snap = None
+        if self.telemetry is not None:
+            telemetry_snap = self.telemetry.snapshot()
+            if self.spans is not None:
+                spans_snap = self.spans.snapshot()
+                spans_snap["rows_declared"] = list(self.scheme.SPAN_ROWS)
+                # the controller's post-warmup demand-latency total: the
+                # reconciliation target for the span stage sums (repro
+                # analyze reports the coverage ratio)
+                spans_snap["demand_stall_cycles"] = \
+                    self.controller.stats.total_miss_latency
+                telemetry_snap["spans"] = spans_snap
         return RunResult(
             scheme_name=self.scheme.name,
             workload_name=self.workload.name,
@@ -376,6 +403,5 @@ class System:
             energy=energy,
             edp=edp,
             extras=extras,
-            telemetry=(self.telemetry.snapshot()
-                       if self.telemetry is not None else None),
+            telemetry=telemetry_snap,
         )

@@ -190,6 +190,12 @@ class Channel:
         self._inflight += 1
         self.stats.bus_busy_cycles += burst
         self.stats.total_queue_wait += data_start - request.arrival
+        if request.span is not None:
+            # attribute the queue/service split to the sampled request:
+            # everything before the data starts moving (bank preparation,
+            # bus contention, scheduler backlog) is queueing, the burst
+            # itself is service
+            request.span.add_dram(data_start - request.arrival, burst)
         self._engine.schedule_at(completion, self._complete, request)
 
     def _complete(self, request: DRAMRequest) -> None:

@@ -43,10 +43,13 @@ class MemoryDevice:
     # ------------------------------------------------------------------
     def access(self, addr: int, size: int, is_write: bool,
                priority: Priority = Priority.DEMAND,
-               on_complete: Optional[Callable[[float], None]] = None) -> None:
+               on_complete: Optional[Callable[[float], None]] = None,
+               span=None) -> None:
         """Issue a device access of ``size`` bytes at device-local ``addr``.
 
         ``on_complete(time)`` fires once, after every chunk has finished.
+        ``span``, when given, rides every chunk so the channels can
+        attribute queue vs service cycles to the sampled request.
         """
         if not 0 <= addr < self.capacity_bytes:
             raise ValueError(
@@ -59,7 +62,8 @@ class MemoryDevice:
             raise ValueError("access crosses end of device")
 
         if self.metadata_base is not None and addr >= self.metadata_base:
-            self._access_metadata(addr, size, is_write, priority, on_complete)
+            self._access_metadata(addr, size, is_write, priority,
+                                  on_complete, span)
             return
 
         # Fast path: the access fits in one interleave unit (the common
@@ -76,6 +80,7 @@ class MemoryDevice:
                 arrival=self._engine.now,
                 coords=coords,
                 on_complete=on_complete,
+                span=span,
             )
             self.channels[coords.channel].submit(request)
             return
@@ -99,12 +104,14 @@ class MemoryDevice:
                 arrival=self._engine.now,
                 coords=coords,
                 on_complete=chunk_done,
+                span=span,
             )
             self.channels[coords.channel].submit(request)
 
     def _access_metadata(self, addr: int, size: int, is_write: bool,
                          priority: Priority,
-                         on_complete: Optional[Callable[[float], None]]) -> None:
+                         on_complete: Optional[Callable[[float], None]],
+                         span=None) -> None:
         """One request on the dedicated metadata channel.
 
         Layout: 32 B groups (one congruence set's remap entries) are
@@ -131,6 +138,7 @@ class MemoryDevice:
             arrival=self._engine.now,
             coords=coords,
             on_complete=on_complete,
+            span=span,
         )
         self.meta_channel.submit(request)
 

@@ -14,6 +14,15 @@ seed) precisely so the numbers are comparable across runs; scale knobs
 change the *machine*, not the benchmark definition.  Cells run serially
 in-process — parallel workers would share cores and turn wall-clock
 timing into noise.
+
+Since schema v3 each cell also carries **request-latency tails**
+(``p95_latency``/``p99_latency``, simulation cycles): a second, untimed
+run of the same cell with span sampling at rate 1 records every
+request's issue-to-retire latency, so a change that quietly lengthens
+the tail (a scheduling bug, a lost coalescing opportunity) fails the
+regression gate even when throughput and the mean stay flat.  The tails
+are deterministic given the pinned seed — the gate threshold is
+host-noise-free and tight.
 """
 
 from __future__ import annotations
@@ -32,7 +41,9 @@ from repro.stats.collectors import geometric_mean
 #: bump when the BENCH_*.json layout changes.
 #: v2: cells gained ``key``/``mshr_entries`` and the suites an
 #: MSHR-coalescing variant of the paper scheme.
-BENCH_SCHEMA_VERSION = 2
+#: v3: cells gained ``p95_latency``/``p99_latency`` request-latency
+#: tails (simulation cycles, from a separate untimed span-sampled run).
+BENCH_SCHEMA_VERSION = 3
 
 #: pinned seed — throughput comparisons need identical event streams.
 BENCH_SEED = 1234
@@ -40,6 +51,9 @@ BENCH_SEED = 1234
 #: MSHR size for the coalescing bench variants (the paper scheme with
 #: the transaction pipeline's request queue in front of it).
 BENCH_MSHR_ENTRIES = 32
+
+#: telemetry window for the untimed tail-latency companion run.
+BENCH_TAIL_WINDOW = 50_000
 
 #: suites are (cell key, scheme, mshr_entries) triples; the key names
 #: the cell in the JSON and stays stable across schema versions.
@@ -80,6 +94,14 @@ class BenchCell:
     accesses_per_sec: float
     elapsed_cycles: float
     access_rate: float
+    #: request-latency tails in simulation cycles, measured by a second
+    #: *untimed* run with span sampling at rate 1 (spans off in the timed
+    #: run so the throughput numbers stay comparable to older baselines).
+    #: Deterministic given the pinned seed, so the regression gate can be
+    #: much tighter than the wall-clock one.  ``None`` = histogram
+    #: overflow (or a pre-v3 baseline).
+    p95_latency: Optional[float] = None
+    p99_latency: Optional[float] = None
 
     def to_dict(self) -> Dict:
         return dict(self.__dict__)
@@ -111,6 +133,16 @@ def run_bench(quick: bool = False,
             wall = time.perf_counter() - start
             results[(key, workload)] = result
             accesses = misses * config.cores
+            # tail latencies come from a second run with span sampling,
+            # deliberately outside the perf_counter window: the timed run
+            # stays span-free so accesses_per_sec is comparable across
+            # baselines that predate span tracing.
+            tail_config = dataclasses.replace(
+                cell_config, telemetry_window=BENCH_TAIL_WINDOW,
+                span_sample_rate=1)
+            tail_result = run_one(scheme, workload, tail_config,
+                                  misses_per_core=misses, seed=BENCH_SEED)
+            tails = tail_result.telemetry["spans"]["latency"]
             cells.append(BenchCell(
                 key=key,
                 scheme=scheme,
@@ -122,6 +154,8 @@ def run_bench(quick: bool = False,
                 accesses_per_sec=round(accesses / wall, 1) if wall else 0.0,
                 elapsed_cycles=result.elapsed_cycles,
                 access_rate=round(result.access_rate, 4),
+                p95_latency=tails["p95"],
+                p99_latency=tails["p99"],
             ))
 
     # headline figures of merit: per-workload speedups over the no-NM

@@ -66,11 +66,17 @@ class Cell:
     def key(self) -> str:
         """Stable content hash: identical inputs -> identical key across
         processes and interpreter runs (no reliance on ``hash()``)."""
+        config_dict = dataclasses.asdict(self.config)
+        if not config_dict.get("span_sample_rate"):
+            # span tracing is pure observation and disabled at 0; drop
+            # the field so caches populated before it existed keep
+            # their keys byte-identical
+            config_dict.pop("span_sample_rate", None)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "scheme": self.scheme_key,
             "workload": self.workload_name,
-            "config": dataclasses.asdict(self.config),
+            "config": config_dict,
             "misses_per_core": self.misses_per_core,
             "seed": self.seed,
             "mode": self.mode,
@@ -176,9 +182,16 @@ class ResultCache:
             json.dump(data, fh, sort_keys=True)
         os.replace(tmp, path)
         if result.telemetry is not None:
-            from repro.telemetry import write_artifacts
+            from repro.telemetry import run_metadata, write_artifacts
 
-            write_artifacts(self.telemetry_dir(), key, result.telemetry)
+            meta = None
+            if cell is not None:
+                meta = run_metadata(cell.scheme_key, cell.workload_name,
+                                    cell.seed, cell.config,
+                                    misses_per_core=cell.misses_per_core,
+                                    mode=cell.mode)
+            write_artifacts(self.telemetry_dir(), key, result.telemetry,
+                            meta=meta)
         return path
 
     def discard(self, key: str) -> bool:

@@ -38,6 +38,7 @@ class AlloyCacheScheme(MemoryScheme):
     """
 
     name = "alloy"
+    SPAN_ROWS = ("hit", "miss")
     #: a cache is deliberately not a bijection: FM is always the home,
     #: NM holds copies (the oracle validates it in copy-tracking mode).
     bijective = False

@@ -84,13 +84,16 @@ class AccessPlan:
     bypassed: bool = False
     #: free-form tag used by tests ("row" of Table I, etc.)
     note: str = ""
+    #: True when a hot-block lock determined the service location
+    #: (Table I lock rows); span tracing tags such rows distinctly.
+    locked: bool = False
 
     # cheap constructors for the hot common shapes -----------------------
     @classmethod
     def single(cls, serviced_from: Level, op: Op, note: str = "",
-               bypassed: bool = False) -> "AccessPlan":
+               bypassed: bool = False, locked: bool = False) -> "AccessPlan":
         """One critical-path op, no background — the hot-hit shape."""
-        return cls(serviced_from, [[op]], [], bypassed, note)
+        return cls(serviced_from, [[op]], [], bypassed, note, locked)
 
     @classmethod
     def background_only(cls, serviced_from: Level, ops: List[Op],
@@ -157,6 +160,11 @@ class MemoryScheme(abc.ABC):
     #: :meth:`attach_telemetry`; None in normal runs, so event probes in
     #: subclasses reduce to one ``is None`` check on the hot path.
     telemetry = None
+    #: the row labels this scheme's plans can carry (``plan.note`` plus
+    #: the ``+lock`` variants from :meth:`span_row`).  Span tracing
+    #: records these in the artifact so ``repro analyze`` can report
+    #: declared-but-unobserved rows instead of silently omitting them.
+    SPAN_ROWS: Tuple[str, ...] = ()
 
     def __init__(self, space: AddressSpace) -> None:
         self.space = space
@@ -233,6 +241,20 @@ class MemoryScheme(abc.ABC):
         hub.meter("scheme.subblock_swaps", lambda: stats.subblock_swaps)
         hub.meter("scheme.block_migrations", lambda: stats.block_migrations)
         hub.gauge("scheme.access_rate", lambda: stats.access_rate, trace=True)
+
+    # ------------------------------------------------------------------
+    def span_row(self, plan: AccessPlan) -> str:
+        """Table-I-style row label for per-request latency attribution.
+
+        Defaults to the plan's ``note`` (the Table I row for SILC-FM,
+        hit/miss/swap tags for the comparison schemes), suffixed with
+        ``+lock`` when a hot-block lock pinned the decision and the note
+        does not already say so.  Only called for *sampled* requests —
+        never on the plain hot path."""
+        row = plan.note or plan.serviced_from.value
+        if plan.locked and "lock" not in row:
+            row += "+lock"
+        return row
 
     # ------------------------------------------------------------------
     def record_plan(self, plan: AccessPlan) -> None:

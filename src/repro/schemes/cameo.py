@@ -33,6 +33,7 @@ class CameoScheme(MemoryScheme):
     """CAMEO: congruence-group swapping at 64 B granularity."""
 
     name = "cameo"
+    SPAN_ROWS = ("nm-hit", "fm-swap")
 
     def __init__(self, space: AddressSpace) -> None:
         super().__init__(space)

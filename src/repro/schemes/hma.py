@@ -51,6 +51,7 @@ class HmaScheme(MemoryScheme):
     """Epoch-based hot-page migration with fully associative NM."""
 
     name = "hma"
+    SPAN_ROWS = ("nm-resident", "fm-resident")
 
     def __init__(self, space: AddressSpace,
                  epoch_cycles: float = DEFAULT_EPOCH_CYCLES,
@@ -84,13 +85,13 @@ class HmaScheme(MemoryScheme):
         if frame is not None:
             plan = AccessPlan.single(
                 Level.NM, Op(Level.NM, frame * BLOCK_BYTES + aligned,
-                             SUBBLOCK_BYTES, False))
+                             SUBBLOCK_BYTES, False), "nm-resident")
         else:
             home = self._home_of.get(block, block)
             plan = AccessPlan.single(
                 Level.FM, Op(Level.FM,
                              self._fm_offset_of_block(home) + aligned,
-                             SUBBLOCK_BYTES, False))
+                             SUBBLOCK_BYTES, False), "fm-resident")
         self.record_plan(plan)
         return plan
 

@@ -39,6 +39,7 @@ class PomScheme(MemoryScheme):
     """Whole-block (2 KB) counter-based migration."""
 
     name = "pom"
+    SPAN_ROWS = ("nm-hit", "fm", "fm-migrate")
 
     def __init__(self, space: AddressSpace,
                  threshold: int = DEFAULT_MIGRATION_THRESHOLD,

@@ -24,6 +24,7 @@ class StaticScheme(MemoryScheme):
     """Identity mapping: the flat address *is* the storage location."""
 
     name = "static"
+    SPAN_ROWS = ("static",)
 
     def __init__(self, space: AddressSpace) -> None:
         super().__init__(space)

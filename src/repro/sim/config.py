@@ -17,6 +17,8 @@ unscaled Table II numbers.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import os
 from dataclasses import dataclass, field
 
@@ -155,6 +157,17 @@ class SystemConfig:
     #: Like the knobs above, the field is part of this config and so
     #: participates in the experiment executor's cache key.
     mshr_entries: int = 0
+    #: Per-request span sampling rate, in new-transaction arrivals.
+    #: 0 (default) disables span tracing entirely — no recorder is
+    #: built, hot paths pay one ``is None`` check, and executor cache
+    #: keys / golden results stay byte-identical to pre-span builds.
+    #: N >= 1 samples every Nth new transaction (deterministic modulo
+    #: over the arrival sequence; 1 = every request) with a
+    #: :class:`repro.telemetry.spans.Span` recording cycle-stamped
+    #: stage transitions through the pipeline.  Requires telemetry
+    #: (``telemetry_window > 0``): the span aggregate rides inside the
+    #: telemetry snapshot and the Perfetto slices inside its trace.
+    span_sample_rate: int = 0
 
     def __post_init__(self) -> None:
         if self.nm_bytes % BLOCK_BYTES:
@@ -169,6 +182,11 @@ class SystemConfig:
             raise ValueError("telemetry_window must be >= 0")
         if self.mshr_entries < 0:
             raise ValueError("mshr_entries must be >= 0")
+        if self.span_sample_rate < 0:
+            raise ValueError("span_sample_rate must be >= 0")
+        if self.span_sample_rate > 0 and self.telemetry_window <= 0:
+            raise ValueError("span tracing requires telemetry "
+                             "(set telemetry_window > 0)")
 
     # ------------------------------------------------------------------
     # derived quantities
@@ -201,6 +219,20 @@ class SystemConfig:
         return dataclasses.replace(
             self, silcfm=dataclasses.replace(self.silcfm, **overrides)
         )
+
+
+def config_digest(config: SystemConfig) -> str:
+    """Short stable content hash of a config.
+
+    Labels telemetry artifacts (the run-metadata header) so ``repro
+    analyze`` can say which configuration produced a file without the
+    originating command; the experiment executor's cell hash — which
+    also covers workload and run parameters — remains the cache
+    identity.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
 
 def paper_config() -> SystemConfig:

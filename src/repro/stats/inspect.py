@@ -8,12 +8,15 @@ clean), residency-bit density and counter distributions;
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro.core.silcfm import SilcFmScheme
-from repro.cpu.system import RunResult
 from repro.stats.collectors import RunningStat
 from repro.stats.report import format_table
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.stats importable from
+    # low-level modules (telemetry.spans) without pulling in cpu.system
+    from repro.cpu.system import RunResult
 
 
 def describe_silcfm(scheme: SilcFmScheme) -> str:

@@ -9,14 +9,31 @@ Public surface:
   event collection and validation (Perfetto-loadable).
 * :func:`write_artifacts` / :func:`write_series` / :func:`write_trace`
   — the ``.series.json`` / ``.trace.json`` files the CLI and the
-  experiment executor emit.
+  experiment executor emit, optionally labelled with a
+  :func:`run_metadata` header.
+* :class:`Span` / :class:`SpanCollector` / :class:`SpanRecorder` —
+  per-request span tracing and latency attribution (see
+  :mod:`repro.telemetry.spans`), enabled with
+  ``SystemConfig.span_sample_rate`` and reported by ``repro analyze``.
 
 Enable per run with ``SystemConfig.telemetry_window > 0`` (CLI:
 ``--telemetry`` / ``--telemetry-window``); when disabled — the default
 — no hub is constructed and the simulator's hot paths pay nothing.
 """
 
-from repro.telemetry.artifacts import write_artifacts, write_series, write_trace
+from repro.telemetry.artifacts import (
+    run_metadata,
+    write_artifacts,
+    write_series,
+    write_trace,
+)
+from repro.telemetry.spans import (
+    SPANS_SCHEMA_VERSION,
+    Span,
+    SpanCollector,
+    SpanRecorder,
+    stage_label,
+)
 from repro.telemetry.hub import (
     DEFAULT_RING_CAPACITY,
     DEFAULT_TELEMETRY_WINDOW,
@@ -34,12 +51,18 @@ from repro.telemetry.tracer import (
 __all__ = [
     "DEFAULT_RING_CAPACITY",
     "DEFAULT_TELEMETRY_WINDOW",
+    "SPANS_SCHEMA_VERSION",
     "TELEMETRY_SCHEMA_VERSION",
+    "Span",
+    "SpanCollector",
+    "SpanRecorder",
     "Telemetry",
     "TimeSeriesRing",
     "EventTracer",
     "TraceFormatError",
     "chrome_trace_container",
+    "run_metadata",
+    "stage_label",
     "validate_chrome_trace",
     "write_artifacts",
     "write_series",

@@ -43,7 +43,10 @@ from repro.telemetry.tracer import EventTracer
 
 #: bump when the snapshot layout changes (consumed by the series
 #: artifacts written next to the executor's result cache).
-TELEMETRY_SCHEMA_VERSION = 1
+#: v2: snapshots may carry a ``spans`` latency-attribution sub-object
+#: (:mod:`repro.telemetry.spans`) and artifacts a ``run`` metadata
+#: header (:func:`repro.telemetry.artifacts.run_metadata`).
+TELEMETRY_SCHEMA_VERSION = 2
 
 #: default sampling period, in CPU cycles (the ``--telemetry`` flag's
 #: window when ``--telemetry-window`` is not given).
@@ -183,6 +186,23 @@ class Telemetry:
         self._engine = engine
         self._last_sample_t = engine.now
         engine.schedule_every(self.window, self.sample_now, while_=while_)
+
+    def drain(self) -> Optional[Dict[str, float]]:
+        """Flush the final partial window at end of run.
+
+        Guarantees the last ``< window_cycles`` of activity land in the
+        series without ever appending a duplicate: when the run halts
+        *exactly* on a window boundary the periodic tick has already
+        sampled at this cycle, and a second sample here would be a
+        zero-width (``dt == 0``) duplicate whose meter deltas are all
+        zero.  Idempotent — a second ``drain()`` at the same time is a
+        no-op — so every exit path can call it safely.  Returns the
+        sample taken, or None when nothing was pending.
+        """
+        now = self._engine.now if self._engine is not None else 0.0
+        if self.samples_taken and now <= self._last_sample_t:
+            return None
+        return self.sample_now()
 
     def sample_now(self) -> Dict[str, float]:
         """Take one sample immediately (also used for the final partial

@@ -7,14 +7,20 @@ oracle checks on a zoomable timeline, with the windowed counter series
 rendered as counter tracks.
 
 Format reference: the *Trace Event Format* document (the ``ph`` field
-selects the event type; we emit ``"i"`` instant events and ``"C"``
-counter events).  Timestamps (``ts``) are microseconds; simulation
-cycles are converted with the configured ``cycles_per_us`` so the
-timeline is in real time at the paper's 3.2 GHz clock.
+selects the event type; we emit ``"i"`` instant events, ``"C"``
+counter events, ``"X"`` complete events for request/stage spans and
+``"s"``/``"f"`` flow events linking coalesced MSHR siblings to the
+transaction that serviced them).  Timestamps (``ts``) are
+microseconds; simulation cycles are converted with the configured
+``cycles_per_us`` so the timeline is in real time at the paper's
+3.2 GHz clock.
 
 The event list is capped (``max_events``): long runs keep the earliest
 events and count the overflow in :attr:`EventTracer.dropped` rather
 than growing without bound — a truncated trace is still a valid trace.
+Batch emitters (the span recorder) call :meth:`EventTracer.reserve`
+first so paired events — a flow start and its finish — are kept or
+dropped *together*; a trace never contains a dangling flow arrow.
 """
 
 from __future__ import annotations
@@ -82,6 +88,54 @@ class EventTracer:
             "tid": 0,
             "args": {k: float(v) for k, v in values.items()},
         })
+
+    def complete(self, name: str, cat: str, start_cycles: float,
+                 dur_cycles: float, tid: int = 0,
+                 args: Optional[Dict] = None) -> None:
+        """One complete ("X") event: a named interval with a duration,
+        rendered as a slice on thread track ``tid``."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": self._ts(start_cycles),
+            "dur": self._ts(dur_cycles),
+            "pid": 0,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._emit(event)
+
+    def flow(self, name: str, cat: str, cycles: float, flow_id: str,
+             phase: str, tid: int = 0) -> None:
+        """One flow event — ``phase`` is ``"s"`` (start), ``"t"`` (step)
+        or ``"f"`` (finish); events sharing ``flow_id`` are drawn as an
+        arrow across the timeline."""
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, got {phase!r}")
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": phase,
+            "ts": self._ts(cycles),
+            "pid": 0,
+            "tid": tid,
+            "id": flow_id,
+        }
+        if phase == "f":
+            event["bp"] = "e"  # bind the finish to the enclosing slice
+        self._emit(event)
+
+    def reserve(self, count: int) -> bool:
+        """Check ``count`` more events fit under the cap; counts them
+        as dropped and returns False when they don't.  Batch emitters
+        use this so paired events (a span's stage slices, a flow start
+        and its finish) are kept or dropped atomically."""
+        if len(self._events) + count > self.max_events:
+            self.dropped += count
+            return False
+        return True
 
     # ------------------------------------------------------------------
     def events(self) -> List[Dict]:

@@ -53,6 +53,14 @@ def test_mshr_variant_pins_scheme_and_entries(quick_payload):
     assert variants["silc"]["mshr_entries"] == 0
 
 
+def test_cells_carry_latency_tails(quick_payload):
+    """Schema v3: every cell reports deterministic p95/p99 request
+    latencies from the untimed span-sampled tail run."""
+    for cell in quick_payload["cells"]:
+        assert cell["p95_latency"] > 0
+        assert cell["p99_latency"] >= cell["p95_latency"]
+
+
 def test_payload_throughput_totals(quick_payload):
     totals = quick_payload["throughput"]
     cells = quick_payload["cells"]

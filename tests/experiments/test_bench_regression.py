@@ -12,13 +12,16 @@ sys.path.insert(0, str(SCRIPTS))
 from check_bench_regression import main  # noqa: E402
 
 
-def _payload(rates, total):
+def _payload(rates, total, tails=None):
+    cells = []
+    for (key, wl), rate in rates.items():
+        cell = {"key": key, "scheme": key.split("-")[0], "workload": wl,
+                "accesses_per_sec": rate}
+        if tails and (key, wl) in tails:
+            cell["p95_latency"], cell["p99_latency"] = tails[(key, wl)]
+        cells.append(cell)
     return {
-        "cells": [
-            {"key": key, "scheme": key.split("-")[0], "workload": wl,
-             "accesses_per_sec": rate}
-            for (key, wl), rate in rates.items()
-        ],
+        "cells": cells,
         "throughput": {"accesses_per_sec": total},
     }
 
@@ -79,3 +82,72 @@ def test_tighter_threshold_trips(tmp_path):
         {("nonm", "mcf"): 17000.0, ("silc", "mcf"): 8500.0}, 12750.0))
     assert main([base, cur]) == 0          # 15% drop, default 25% gate
     assert main([base, cur, "--threshold", "0.1"]) == 1
+
+
+# ----------------------------------------------------------------------
+# tail-latency gate (schema v3)
+# ----------------------------------------------------------------------
+TAILS = {("nonm", "mcf"): (2000.0, 2600.0), ("silc", "mcf"): (2200.0, 3500.0)}
+
+
+def test_tails_within_gate_pass(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        ("nonm", "mcf"): (2100.0, 2650.0),   # +5%, +2%
+        ("silc", "mcf"): (2200.0, 3500.0),
+    }))
+    assert main([base, cur]) == 0
+    assert "tails within 10%" in capsys.readouterr().out
+
+
+def test_tail_growth_past_gate_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        ("nonm", "mcf"): (2000.0, 2600.0),
+        ("silc", "mcf"): (2200.0, 4200.0),   # p99 +20%
+    }))
+    assert main([base, cur]) == 1
+    captured = capsys.readouterr()
+    assert "TAIL REGRESSION" in captured.out
+    assert "silc/mcf:p99_latency" in captured.err
+
+
+def test_tail_improvement_always_passes(tmp_path):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        key: (p95 / 2, p99 / 2) for key, (p95, p99) in TAILS.items()
+    }))
+    assert main([base, cur]) == 0
+
+
+def test_pre_v3_baseline_skips_tail_gate(tmp_path, capsys):
+    """A baseline without tail fields (or with nulls) gates nothing —
+    upgrading the baseline turns the check on."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        ("silc", "mcf"): (9999.0, 99999.0)}))
+    assert main([base, cur]) == 0
+    null_base = _write(tmp_path, "nulls.json", _payload(BASE, 15000.0, {
+        ("silc", "mcf"): (None, None)}))
+    assert main([null_base, cur]) == 0
+
+
+def test_current_overflow_against_finite_baseline_fails(tmp_path, capsys):
+    """Baseline measured a finite p99 but the current run overflowed the
+    histogram: that is a tail blow-up, not missing data."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        ("silc", "mcf"): (2200.0, None)}))
+    assert main([base, cur]) == 1
+    assert "overflow" in capsys.readouterr().out
+
+
+def test_tail_threshold_flag(tmp_path):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, {
+        ("nonm", "mcf"): TAILS[("nonm", "mcf")],
+        ("silc", "mcf"): (2330.0, 3700.0)}))  # ~6% growth
+    assert main([base, cur]) == 0
+    assert main([base, cur, "--tail-threshold", "0.05"]) == 1
+    with pytest.raises(SystemExit):
+        main([base, cur, "--tail-threshold", "0"])

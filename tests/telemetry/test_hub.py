@@ -6,7 +6,8 @@ import json
 import pytest
 
 from repro.sim.engine import Engine, SimulationError
-from repro.telemetry import Telemetry, TimeSeriesRing
+from repro.telemetry import (TELEMETRY_SCHEMA_VERSION, Telemetry,
+                             TimeSeriesRing)
 
 
 def _hub(window=100, **kwargs):
@@ -125,8 +126,71 @@ def test_snapshot_reports_spill_accounting():
     # capacity 4 evicts half at samples 4 and 6: 2 + 2 spilled
     assert snap["spilled_samples"] == 4
     assert len(snap["samples"]) + snap["spilled_samples"] == 6
-    assert snap["schema"] == 1
+    assert snap["schema"] == TELEMETRY_SCHEMA_VERSION
     assert snap["window_cycles"] == 100
+
+
+# ----------------------------------------------------------------------
+# end-of-run drain (final partial window)
+# ----------------------------------------------------------------------
+class _Clock:
+    """Engine stand-in with a hand-settable clock, so the drain tests
+    control exactly where the run halts relative to the window."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def schedule_every(self, *args, **kwargs):
+        pass  # periodic ticks are driven by hand in these tests
+
+
+def test_drain_flushes_final_partial_window():
+    """A run halting mid-window must not lose the tail of the series."""
+    clock = _Clock()
+    hub = _hub(window=100)
+    hub.meter("m", lambda: clock.now)  # cumulative: grows with time
+    hub.attach(clock)
+    clock.now = 100.0
+    hub.sample_now()  # the periodic tick
+    clock.now = 130.0  # run halts 30 cycles into the next window
+    sample = hub.drain()
+    assert sample is not None
+    assert sample["t"] == 130.0
+    assert sample["dt"] == 30.0  # the partial window
+    assert sample["m"] == 30.0   # activity after the last tick captured
+    assert hub.series.samples()[-1] == sample
+
+
+def test_drain_is_idempotent():
+    clock = _Clock()
+    hub = _hub(window=100)
+    hub.attach(clock)
+    clock.now = 130.0
+    assert hub.drain() is not None
+    assert hub.drain() is None  # nothing new pending
+    assert hub.samples_taken == 1
+
+
+def test_drain_skips_duplicate_on_window_aligned_halt():
+    """Halting exactly on a window boundary: the periodic tick already
+    sampled this cycle; drain must not append a zero-width duplicate."""
+    clock = _Clock()
+    hub = _hub(window=100)
+    hub.attach(clock)
+    clock.now = 100.0
+    hub.sample_now()  # the periodic tick lands exactly at the halt time
+    assert hub.drain() is None
+    assert hub.samples_taken == 1
+
+
+def test_drain_captures_run_shorter_than_one_window():
+    clock = _Clock()
+    hub = _hub(window=100)
+    hub.attach(clock)
+    clock.now = 40.0  # halts before the first periodic tick
+    sample = hub.drain()
+    assert sample is not None and sample["t"] == 40.0
+    assert hub.samples_taken == 1
 
 
 # ----------------------------------------------------------------------

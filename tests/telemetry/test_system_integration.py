@@ -12,7 +12,7 @@ import pytest
 from repro.cpu.system import RunResult
 from repro.experiments.runner import run_one
 from repro.sim.config import default_config
-from repro.telemetry import validate_chrome_trace
+from repro.telemetry import TELEMETRY_SCHEMA_VERSION, validate_chrome_trace
 
 MISSES = 4000
 
@@ -32,7 +32,7 @@ def plain_result():
 def test_series_is_non_empty(telemetry_result):
     snap = telemetry_result.telemetry
     assert snap is not None
-    assert snap["schema"] == 1
+    assert snap["schema"] == TELEMETRY_SCHEMA_VERSION
     assert len(snap["samples"]) > 1
     sample = snap["samples"][-1]
     assert "silcfm.window_access_rate" in sample

@@ -55,6 +55,46 @@ def test_event_cap_counts_dropped():
     assert [e["name"] for e in tracer.events()] == ["e0", "e1", "e2"]
 
 
+def test_complete_event_shape():
+    tracer = _tracer()
+    tracer.complete("row1", "span.request", start_cycles=1000.0,
+                    dur_cycles=500.0, tid=3, args={"paddr": 64})
+    (event,) = tracer.events()
+    assert event["ph"] == "X"
+    assert event["ts"] == pytest.approx(1.0)
+    assert event["dur"] == pytest.approx(0.5)
+    assert event["tid"] == 3
+    assert event["args"] == {"paddr": 64}
+
+
+def test_flow_events_pair_by_id():
+    tracer = _tracer()
+    tracer.flow("coalesce", "span.flow", 100.0, "span7.0", "s", tid=1)
+    tracer.flow("coalesce", "span.flow", 400.0, "span7.0", "f", tid=1)
+    start, finish = tracer.events()
+    assert start["ph"] == "s" and finish["ph"] == "f"
+    assert start["id"] == finish["id"] == "span7.0"
+    assert finish["bp"] == "e"  # finish binds to the enclosing slice
+    assert "bp" not in start
+
+
+def test_flow_rejects_bad_phase():
+    with pytest.raises(ValueError, match="s/t/f"):
+        _tracer().flow("x", "cat", 0.0, "id0", "X")
+
+
+def test_reserve_keeps_or_drops_batches_whole():
+    tracer = _tracer(max_events=4)
+    tracer.instant("pre", "cat", cycles=0.0)
+    assert tracer.reserve(3) is True
+    for i in range(3):
+        tracer.instant(f"b{i}", "cat", cycles=float(i))
+    # next batch of 3 cannot fit (4-event cap, 4 used): refused whole
+    assert tracer.reserve(3) is False
+    assert tracer.dropped == 3
+    assert len(tracer.events()) == 4
+
+
 # ----------------------------------------------------------------------
 # container + validation
 # ----------------------------------------------------------------------
@@ -135,3 +175,28 @@ def test_write_artifacts_names_both_files(tmp_path):
     assert series.name == "stem.series.json"
     assert trace.name == "stem.trace.json"
     assert series.exists() and trace.exists()
+
+
+def test_run_metadata_header_embedded_in_both_files(tmp_path):
+    from repro.sim.config import config_digest, default_config
+    from repro.telemetry import TELEMETRY_SCHEMA_VERSION, run_metadata
+
+    config = default_config()
+    meta = run_metadata("silc", "mcf", 7, config, misses_per_core=4000)
+    assert meta["schema"] == TELEMETRY_SCHEMA_VERSION
+    assert meta["config_digest"] == config_digest(config)
+    series, trace = write_artifacts(tmp_path, "stem", _snapshot(), meta=meta)
+    series_run = json.loads(series.read_text())["run"]
+    trace_run = json.loads(trace.read_text())["otherData"]["run"]
+    for run in (series_run, trace_run):
+        assert run["scheme"] == "silc"
+        assert run["workload"] == "mcf"
+        assert run["seed"] == 7
+        assert run["misses_per_core"] == 4000
+    assert validate_chrome_trace(str(trace)) == 1
+
+
+def test_artifacts_without_meta_carry_no_run_header(tmp_path):
+    series, trace = write_artifacts(tmp_path, "stem", _snapshot())
+    assert "run" not in json.loads(series.read_text())
+    assert "run" not in json.loads(trace.read_text())["otherData"]

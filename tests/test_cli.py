@@ -155,6 +155,53 @@ def test_bench_quick_command(tmp_path, capsys, monkeypatch):
     assert "wrote" in out
 
 
+def test_run_with_spans_then_analyze(tmp_path, capsys, monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=2)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    assert cli.main(["run", "silc", "mcf", "--misses", "400",
+                     "--span-sample-rate", "1",
+                     "--telemetry-out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out  # the run advertises the analyze command
+    series = tmp_path / "silc-mcf.series.json"
+    assert cli.main(["analyze", str(series), "--top", "3"]) == 0
+    report = capsys.readouterr().out
+    assert "Latency attribution" in report
+    assert "Per-stage service time (cycles)" in report
+    assert "Table I row breakdown" in report
+
+
+def test_analyze_rejects_spanless_artifact(tmp_path, capsys):
+    path = tmp_path / "plain.series.json"
+    path.write_text('{"schema": 2, "samples": []}')
+    assert cli.main(["analyze", str(path)]) == 1
+    assert "analyze:" in capsys.readouterr().err
+
+
+def test_span_rate_implies_telemetry(monkeypatch):
+    small = dataclasses.replace(default_config(scale=0.25), cores=1)
+    monkeypatch.setattr(cli, "default_config", lambda scale=None: small)
+    seen = {}
+    real_run_one = cli.run_one
+
+    def spy(scheme, benchmark, config, **kwargs):
+        seen["window"] = config.telemetry_window
+        seen["rate"] = config.span_sample_rate
+        return real_run_one(scheme, benchmark, config, **kwargs)
+
+    monkeypatch.setattr(cli, "run_one", spy)
+    assert cli.main(["run", "silc", "mcf", "--misses", "200",
+                     "--span-sample-rate", "8",
+                     "--telemetry-out", "/tmp/_cli_span_test"]) == 0
+    assert seen["window"] == cli.DEFAULT_TELEMETRY_WINDOW
+    assert seen["rate"] == 8
+
+
+def test_non_positive_span_rate_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "silc", "mcf", "--span-sample-rate", "0"])
+
+
 def test_unknown_scheme_rejected():
     with pytest.raises(SystemExit):
         cli.main(["run", "bogus", "mcf"])
