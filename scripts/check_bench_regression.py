@@ -23,7 +23,17 @@ pinned seed, so the gate is tighter (``--tail-threshold``, default
 10%): a current tail more than that above the baseline fails.  The gate
 is skipped for cells whose baseline lacks the fields or recorded
 ``null`` (pre-v3 baselines, histogram overflow) — upgrading the
-baseline turns it on.
+baseline turns it on.  It is also skipped wholesale when the *current*
+run measured no tails anywhere (since schema v4, quick runs skip the
+tail pass unless the config enables span sampling); a ``null`` tail in
+a run that measured others still fails as a histogram overflow.
+
+Schema-v4 baselines also carry the **batch engine's** throughput
+(``batched_accesses_per_sec``, per cell and in total).  It is gated
+with the same ``--threshold`` as the scalar column, and skipped when
+the baseline predates schema v4 — so one gate run holds both engines
+to their baselines, and a change that quietly de-optimizes only the
+batched path cannot hide behind a healthy scalar number.
 """
 
 from __future__ import annotations
@@ -44,10 +54,45 @@ def load_cells(path: str):
         key = (cell.get("key", cell["scheme"]), cell["workload"])
         cells[key] = {
             "accesses_per_sec": cell["accesses_per_sec"],
+            "batched_accesses_per_sec": cell.get("batched_accesses_per_sec"),
             "tails": {field: cell.get(field) for field in TAIL_FIELDS},
         }
-    total = payload["throughput"]["accesses_per_sec"]
-    return cells, total
+    totals = payload["throughput"]
+    total = {
+        "accesses_per_sec": totals["accesses_per_sec"],
+        "batched_accesses_per_sec": totals.get("batched_accesses_per_sec"),
+    }
+    # Did this run measure tails at all?  Since schema v4, quick runs
+    # skip the span-sampled tail pass unless the config opts in, so a
+    # current run with *no* tails anywhere is "not measured" — only a
+    # null tail alongside other measured cells means histogram overflow.
+    measured_tails = any(tail is not None
+                         for cell in cells.values()
+                         for tail in cell["tails"].values())
+    return cells, total, measured_tails
+
+
+def check_batched(label, base, cur, threshold, failures):
+    """Gate one batched-throughput column (cell or total).  Pre-v4
+    baselines record no batched number — nothing to gate until the
+    baseline is regenerated."""
+    if base is None:
+        return
+    if cur is None:
+        # the baseline measured the batch engine but the current run
+        # has no batched column at all — the engine (or its digest
+        # check) was dropped, which the gate must not wave through.
+        failures.append(f"{label}:batched")
+        print(f"  {label} batched: {base:,.0f} -> missing acc/s"
+              f"  <-- REGRESSION")
+        return
+    ratio = cur / base if base else float("inf")
+    marker = ""
+    if ratio < 1 - threshold:
+        failures.append(f"{label}:batched")
+        marker = "  <-- REGRESSION"
+    print(f"  {label} batched: {base:,.0f} -> {cur:,.0f} acc/s "
+          f"({ratio:.2f}x){marker}")
 
 
 def check_tails(label, base_cell, cur_cell, threshold, failures):
@@ -92,8 +137,11 @@ def main(argv=None) -> int:
     if args.tail_threshold <= 0:
         parser.error("--tail-threshold must be positive")
 
-    base_cells, base_total = load_cells(args.baseline)
-    cur_cells, cur_total = load_cells(args.current)
+    base_cells, base_total, _ = load_cells(args.baseline)
+    cur_cells, cur_total, cur_measured_tails = load_cells(args.current)
+    if not cur_measured_tails:
+        print("  note: current run measured no latency tails "
+              "(quick run with span sampling off) — tail gate skipped")
 
     failures = []
     for key in sorted(base_cells):
@@ -110,20 +158,29 @@ def main(argv=None) -> int:
             marker = "  <-- REGRESSION"
         print(f"  {label}: {base:,.0f} -> {cur:,.0f} acc/s "
               f"({ratio:.2f}x){marker}")
-        check_tails(label, base_cells[key], cur_cells[key],
-                    args.tail_threshold, failures)
+        check_batched(label, base_cells[key]["batched_accesses_per_sec"],
+                      cur_cells[key]["batched_accesses_per_sec"],
+                      args.threshold, failures)
+        if cur_measured_tails:
+            check_tails(label, base_cells[key], cur_cells[key],
+                        args.tail_threshold, failures)
     for key in sorted(set(cur_cells) - set(base_cells)):
         print(f"  note: new cell {key[0]}/{key[1]} "
               f"({cur_cells[key]['accesses_per_sec']:,.0f} acc/s, "
               "no baseline)")
 
-    total_ratio = cur_total / base_total if base_total else float("inf")
+    base_scalar = base_total["accesses_per_sec"]
+    cur_scalar = cur_total["accesses_per_sec"]
+    total_ratio = cur_scalar / base_scalar if base_scalar else float("inf")
     marker = ""
     if total_ratio < 1 - args.threshold:
         failures.append("total")
         marker = "  <-- REGRESSION"
-    print(f"  total: {base_total:,.0f} -> {cur_total:,.0f} acc/s "
+    print(f"  total: {base_scalar:,.0f} -> {cur_scalar:,.0f} acc/s "
           f"({total_ratio:.2f}x){marker}")
+    check_batched("total", base_total["batched_accesses_per_sec"],
+                  cur_total["batched_accesses_per_sec"],
+                  args.threshold, failures)
 
     if failures:
         print(f"FAIL: regression past thresholds "

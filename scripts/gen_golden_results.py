@@ -14,6 +14,7 @@ Only regenerate (``python scripts/gen_golden_results.py``) when a change
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -34,8 +35,13 @@ SEED = 7
 SCALE = 0.25
 
 
-def golden_json(scheme: str) -> str:
+def golden_json(scheme: str, batch_window: int = 0) -> str:
+    """Run one golden-grid cell.  ``batch_window`` selects the batch
+    engine (0 = scalar); both must reproduce the same committed bytes —
+    the goldens are the equivalence contract's anchor."""
     config = default_config(scale=SCALE)
+    if batch_window:
+        config = dataclasses.replace(config, batch_window=batch_window)
     result = run_one(scheme, WORKLOAD, config,
                      misses_per_core=MISSES, seed=SEED)
     return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -105,6 +105,14 @@ def _add_mshr_flag(sub_parser: argparse.ArgumentParser) -> None:
              " behaviour)")
 
 
+def _add_batch_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--batch-window", type=int, default=None, metavar="N",
+        help="run the vectorized batch engine with N-record trace windows"
+             " (bit-identical results, faster wall clock; default 0 ="
+             " scalar reference engine; see docs/batch_engine.md)")
+
+
 def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--telemetry", action="store_true",
@@ -143,6 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_check_flags(run_p)
     _add_telemetry_flags(run_p)
     _add_mshr_flag(run_p)
+    _add_batch_flag(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a benchmark")
     cmp_p.add_argument("benchmark", choices=BENCHMARKS)
@@ -154,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_check_flags(cmp_p)
     _add_telemetry_flags(cmp_p)
     _add_mshr_flag(cmp_p)
+    _add_batch_flag(cmp_p)
     _add_executor_flags(cmp_p)
 
     fig_p = sub.add_parser(
@@ -265,11 +275,21 @@ def _with_mshr(config, args):
     return dataclasses.replace(config, mshr_entries=entries)
 
 
+def _with_batch(config, args):
+    """Fold ``--batch-window`` into a config."""
+    window = getattr(args, "batch_window", None)
+    if window is None:
+        return config
+    if window < 0:
+        raise SystemExit("--batch-window must be >= 0")
+    return dataclasses.replace(config, batch_window=window)
+
+
 def _config(scale: Optional[float], args=None):
     config = default_config() if scale is None else default_config(scale=scale)
     if args is not None:
-        config = _with_mshr(
-            _with_telemetry(_with_check(config, args), args), args)
+        config = _with_batch(_with_mshr(
+            _with_telemetry(_with_check(config, args), args), args), args)
     return config
 
 

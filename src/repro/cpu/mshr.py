@@ -107,6 +107,26 @@ class MemoryRequest:
         if self.remaining_ops == 0:
             self.controller._advance(self, when)
 
+    def fast_done(self, when: float) -> None:
+        """Device completion callback for the batch engine's single-op
+        fast path: the whole critical path was one device access, so
+        this is ``op_done`` + ``_advance`` + ``_complete`` fused (spans
+        and the oracle are never active on the fast path)."""
+        controller = self.controller
+        controller.inflight -= 1
+        stats = controller.stats
+        stats.misses_completed += 1
+        stats.total_miss_latency += when - self.dispatch_time
+        self.state = COMPLETE
+        self.finish_time = when
+        mshr = self.mshr
+        if mshr is not None:
+            mshr.release(self, when)
+        else:
+            for waiter in self.waiters:
+                waiter(when)
+            controller._recycle(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MemoryRequest(paddr={self.paddr:#x}, "
                 f"state={STATE_NAMES[self.state]}, "

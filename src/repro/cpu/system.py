@@ -170,7 +170,26 @@ class System:
 
             self.oracle = ValidationOracle(
                 self.scheme, check_every=config.check_interval)
-        self.controller = FlatMemoryController(
+        #: batch engine (repro.cpu.batch): vectorized trace generation +
+        #: allocation-lean data plane, bit-identical to the scalar path
+        #: (miss mode only; reference mode always runs scalar).
+        use_batch = config.batch_window > 0 and mode == "miss"
+        self._use_batch = use_batch
+        if use_batch:
+            from repro.cpu.batch import BatchCore, BatchFlatMemoryController
+
+            controller_cls = BatchFlatMemoryController
+            # fuse each channel's queued data plane (instance-level
+            # rebinding; the class-level scalar methods stay untouched,
+            # so scalar runs are unaffected)
+            for device in (self.nm_device, self.fm_device):
+                for channel in device.channels:
+                    channel.enable_turbo()
+                if device.meta_channel is not None:
+                    device.meta_channel.enable_turbo()
+        else:
+            controller_cls = FlatMemoryController
+        self.controller = controller_cls(
             self.engine, self.scheme, self.nm_device, self.fm_device,
             oracle=self.oracle)
         #: MSHR file between the cores and the controller; None at the
@@ -199,6 +218,19 @@ class System:
             table = PageTable(allocator, asid=core_id)
             self.page_tables.append(table)
             model = WorkloadModel(spec, seed=seed * 1000 + core_id)
+            if use_batch:
+                core = BatchCore(
+                    self.engine, core_id,
+                    model.miss_batches(misses_per_core, config.batch_window),
+                    issue_width=config.core.issue_width,
+                    max_outstanding=config.core.max_outstanding_misses,
+                    translate=table.translate,
+                    send_miss=send_miss,
+                    send_writeback=self.controller.handle_writeback,
+                    on_finished=self._core_finished,
+                )
+                self.cores.append(core)
+                continue
             if mode == "miss":
                 trace = model.miss_stream(misses_per_core)
                 classify = None
@@ -309,37 +341,68 @@ class System:
         watchdog semantics: exactly ``max_events`` dispatches are
         allowed, dispatching one more raises.
         """
+        import gc
+
         for core in self.cores:
             core.start()
         engine = self.engine
         total = len(self.cores)
         dispatched = 0
         warming = self._warmup_misses > 0
-        while warming and self._finished < total:
-            if max_events is not None and dispatched >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; likely a livelock"
-                )
-            if not engine.step():
-                raise SimulationError(
-                    f"event queue drained with {total - self._finished}"
-                    " cores unfinished (lost completion callback?)"
-                )
-            dispatched += 1
-            self._check_warmup()
-            warming = self._warmup_done_at is None
-        if self._finished < total:
-            self._halt_on_done = True
-            try:
-                engine.run(max_events=(None if max_events is None
-                                       else max_events - dispatched))
-            finally:
-                self._halt_on_done = False
+        # the batch data plane recycles its hot objects, so cyclic-GC
+        # passes over the event loop are pure overhead; collection is
+        # suspended for the run (refcount frees are unaffected, and no
+        # simulation state observes the collector).
+        collecting = self._use_batch and gc.isenabled()
+        if collecting:
+            gc.disable()
+        try:
+            if warming and self._use_batch and max_events is None:
+                # batch engine: the warmup reset point is a *miss-count*
+                # crossing, which only ever moves inside a demand-dispatch
+                # event — so the controller halts the fast loop at the
+                # crossing event instead of the per-event step-and-check
+                # loop.  The engine state at the reset is identical:
+                # Engine.run stops right after the event during which the
+                # count crossed, exactly where the step loop's check
+                # would have fired.
+                self.controller.arm_warmup_halt(self._warmup_misses)
+                engine.run()
+                self._check_warmup()
+                if self._warmup_done_at is None:
+                    raise SimulationError(
+                        f"event queue drained with {total - self._finished}"
+                        " cores unfinished (lost completion callback?)"
+                    )
+                warming = False
+            while warming and self._finished < total:
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+                if not engine.step():
+                    raise SimulationError(
+                        f"event queue drained with {total - self._finished}"
+                        " cores unfinished (lost completion callback?)"
+                    )
+                dispatched += 1
+                self._check_warmup()
+                warming = self._warmup_done_at is None
             if self._finished < total:
-                raise SimulationError(
-                    f"event queue drained with {total - self._finished}"
-                    " cores unfinished (lost completion callback?)"
-                )
+                self._halt_on_done = True
+                try:
+                    engine.run(max_events=(None if max_events is None
+                                           else max_events - dispatched))
+                finally:
+                    self._halt_on_done = False
+                if self._finished < total:
+                    raise SimulationError(
+                        f"event queue drained with {total - self._finished}"
+                        " cores unfinished (lost completion callback?)"
+                    )
+        finally:
+            if collecting:
+                gc.enable()
         finish = max(core.stats.finish_time for core in self.cores)
         elapsed = finish - (self._warmup_done_at or 0.0)
         if self.oracle is not None:

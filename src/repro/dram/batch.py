@@ -1,0 +1,154 @@
+"""Vectorized DRAM timing over request windows (the batch engine's
+channel-level kernel).
+
+``window_timing`` computes the completion time of an *ordered* window of
+chunks on one channel — the multi-chunk shape a swap or migration
+produces — and applies the same bank/bus/stats state updates that
+issuing the chunks one at a time through the channel fast path would.
+The contract is **bit-identical** timing:
+
+* per-bank CAS chains are vectorized with ``np.add.accumulate`` (a
+  strictly left-to-right scan, so the float rounding matches the scalar
+  ``cas += step`` loop exactly — a closed-form ``cas1 + i*step`` would
+  *not*, since float addition is non-associative);
+* the data-bus recurrence ``busy = max(ready_i, busy) + burst_i`` is
+  inherently sequential *across* banks, so it stays a scalar loop (the
+  window is bounded by ``Channel.pipeline_depth``, so the loop is short);
+* every accumulation into ``ChannelStats`` replays the scalar path's
+  add-per-chunk order.
+
+Scalar fallback triggers (see ``docs/batch_engine.md``): a window
+shorter than ``VECTOR_THRESHOLD``, a bank group whose chunks touch more
+than one row (the conflict chain ``precharge/activate/cas`` depends on
+``_activated_at`` per step), or an injected fault
+(:mod:`repro.sim.faults` hooks the scalar replay only).  The fallback is
+the *same math* written per chunk, so eligibility never changes results
+— only which code computes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sim import faults
+
+#: below this many chunks the numpy fixed cost exceeds the scalar loop.
+VECTOR_THRESHOLD = 4
+
+
+def window_timing(channel, chunks: List[Tuple[int, int, int]],
+                  now: float) -> List[float]:
+    """Time an ordered window of ``(bank_index, row, size)`` chunks.
+
+    Mutates ``channel`` (banks, ``_bus_free``, stats) exactly as the
+    equivalent sequence of single-chunk fast-path issues would, and
+    returns the per-chunk completion times in window order.
+    """
+    t = channel._t
+    cpm = channel._cpm
+    cache = channel._burst_cpu_cycles
+    bursts = []
+    for _bank, _row, size in chunks:
+        burst = cache.get(size)
+        if burst is None:
+            burst = t.burst_mem_cycles(size) * cpm
+            cache[size] = burst
+        bursts.append(burst)
+
+    if len(chunks) < VECTOR_THRESHOLD or faults.ACTIVE is not None:
+        return _scalar_window(channel, chunks, bursts, now)
+
+    # group chunk indices per bank, preserving window order within each
+    groups: dict = {}
+    for i, (bank_index, row, _size) in enumerate(chunks):
+        groups.setdefault(bank_index, []).append(i)
+    for bank_index, members in groups.items():
+        first_row = chunks[members[0]][1]
+        if any(chunks[i][1] != first_row for i in members[1:]):
+            # rows change mid-group: the conflict chain is stateful per
+            # step — scalar fallback for the whole window.
+            return _scalar_window(channel, chunks, bursts, now)
+
+    data_ready = [0.0] * len(chunks)
+    ccd = t.t_ccd * cpm
+    cas_extra = t.t_cas * cpm
+    for bank_index, members in groups.items():
+        bank = channel._banks[bank_index]
+        row = chunks[members[0]][1]
+        # First access of the group: inline replay of ``Bank.prepare``'s
+        # branch on the current row-buffer state.  Inline (rather than
+        # calling prepare and subtracting tCAS back out) because
+        # ``(cas + tCAS) - tCAS`` is not float-exact and the chain below
+        # needs the *first CAS itself* as its seed.
+        start = now if now > bank.ready else bank.ready
+        if bank.open_row == row:
+            bank.stats.row_hits += 1
+            cas1 = start
+        elif bank.open_row is None:
+            bank.stats.row_closed += 1
+            bank._activated_at = start
+            cas1 = start + t.t_rcd * cpm
+        else:
+            bank.stats.row_conflicts += 1
+            activated = bank._activated_at + t.t_ras * cpm
+            precharge = start if start > activated else activated
+            activate = precharge + t.t_rp * cpm
+            bank._activated_at = activate
+            cas1 = activate + t.t_rcd * cpm
+        bank.open_row = row
+        rest = len(members) - 1
+        if rest == 0:
+            bank.ready = cas1 + ccd
+            data_ready[members[0]] = cas1 + cas_extra
+        else:
+            # every later access in the group is a row hit whose CAS is
+            # the previous CAS plus one column gap; accumulate replays
+            # the sequential ``cas += ccd`` chain bit-for-bit.
+            bank.stats.row_hits += rest
+            steps = np.empty(rest + 1, dtype=np.float64)
+            steps[0] = cas1
+            steps[1:] = ccd
+            cas = np.add.accumulate(steps)
+            ready = cas + cas_extra
+            for j, member in enumerate(members):
+                data_ready[member] = float(ready[j])
+            bank.ready = float(cas[rest]) + ccd
+
+    # bus serialization + stats: sequential in window order (the chain
+    # crosses banks and every float add must replay the scalar order).
+    stats = channel.stats
+    bus_free = channel._bus_free
+    completions = []
+    for ready_at, burst in zip(data_ready, bursts):
+        data_start = ready_at if ready_at > bus_free else bus_free
+        bus_free = data_start + burst
+        stats.bus_busy_cycles += burst
+        stats.total_queue_wait += data_start - now
+        completions.append(bus_free)
+    channel._bus_free = bus_free
+    return completions
+
+
+def _scalar_window(channel, chunks, bursts, now: float) -> List[float]:
+    """Per-chunk replay of the single-chunk fast path (and the hook
+    point for injected faults)."""
+    banks = channel._banks
+    stats = channel.stats
+    bus_free = channel._bus_free
+    fault = faults.ACTIVE is not None
+    completions = []
+    for (bank_index, row, _size), burst in zip(chunks, bursts):
+        bank = banks[bank_index]
+        if fault:
+            ready_at = faults.bank_prepare(bank, row, now)
+        else:
+            ready_at = bank.prepare(row, now)
+        data_start = ready_at if ready_at > bus_free else bus_free
+        bus_free = data_start + burst
+        stats.bus_busy_cycles += burst
+        stats.total_queue_wait += data_start - now
+        completions.append(bus_free)
+    channel._bus_free = bus_free
+    return completions

@@ -39,6 +39,11 @@ class MemoryDevice:
         #: of the data channels' way — Section III-D).
         self.metadata_base = metadata_base
         self.meta_channel = Channel(engine, timings) if metadata_base else None
+        #: geometry cached as plain ints for the batch fast path (the
+        #: mapper's method-call-per-chunk cost is what it avoids).
+        self._nchan = timings.channels
+        self._banks_per_ch = timings.banks
+        self._row_bytes = timings.row_bytes
 
     # ------------------------------------------------------------------
     def access(self, addr: int, size: int, is_write: bool,
@@ -107,6 +112,148 @@ class MemoryDevice:
                 span=span,
             )
             self.channels[coords.channel].submit(request)
+
+    # ------------------------------------------------------------------
+    def access_fast(self, addr: int, size: int, is_write: bool,
+                    is_demand: bool,
+                    on_complete: Optional[Callable[[float], None]]) -> bool:
+        """Batch-engine fast path: issue this access through the
+        channels' fast paths, skipping ``DRAMRequest`` construction and
+        the scheduler queues.
+
+        Returns False — without touching any state — when a target
+        channel cannot take the access immediately (its queues are
+        non-empty or its pipeline is full); the caller then falls back
+        to :meth:`access`, whose queued path it would have taken in
+        scalar mode too.  Timing, stats, and event order are identical
+        either way (gated by tests/integration/test_batch_equivalence).
+        """
+        if not 0 <= addr < self.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} outside {self.name} capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if addr + size > self.capacity_bytes:
+            raise ValueError("access crosses end of device")
+
+        if self.metadata_base is not None and addr >= self.metadata_base:
+            offset = addr - self.metadata_base
+            group = offset // 32
+            banks = self._banks_per_ch
+            groups_per_row = self._row_bytes // 32
+            return self.meta_channel.submit_fast(
+                group % banks, group // banks // groups_per_row,
+                size, is_write, is_demand, on_complete)
+
+        nchan = self._nchan
+        row_bytes = self._row_bytes
+        banks = self._banks_per_ch
+        if addr % CHANNEL_INTERLEAVE_BYTES + size <= CHANNEL_INTERLEAVE_BYTES:
+            unit = addr // CHANNEL_INTERLEAVE_BYTES
+            within = (unit // nchan * CHANNEL_INTERLEAVE_BYTES
+                      + addr % CHANNEL_INTERLEAVE_BYTES)
+            row_index = within // row_bytes
+            return self.channels[unit % nchan].submit_fast(
+                row_index % banks, row_index // banks,
+                size, is_write, is_demand, on_complete)
+
+        # multi-chunk: group the chunks per channel (order preserved
+        # within each channel — that is the order the bus chain and the
+        # bank CAS chains serialize in; interleaving *between* channels
+        # carries no timing state).  Completion events are scheduled in
+        # the *global* chunk order afterwards: equal-time completions on
+        # different channels must fire in the same order the scalar
+        # submit loop would have scheduled them, or downstream ties
+        # (MSHR release draining, core wakeups) resolve differently.
+        per_channel: dict = {}
+        order = []  # (channel index, position within its group) per chunk
+        for chunk_addr, chunk_size in self._chunks(addr, size):
+            unit = chunk_addr // CHANNEL_INTERLEAVE_BYTES
+            within = (unit // nchan * CHANNEL_INTERLEAVE_BYTES
+                      + chunk_addr % CHANNEL_INTERLEAVE_BYTES)
+            row_index = within // row_bytes
+            group = per_channel.setdefault(unit % nchan, [])
+            order.append((unit % nchan, len(group)))
+            group.append((row_index % banks, row_index // banks, chunk_size))
+        channels = self.channels
+        for index, group in per_channel.items():
+            if not channels[index].can_accept_fast(len(group)):
+                # all-or-nothing: a partially fast-issued access could
+                # not be rolled back into the queued path.
+                return False
+        if on_complete is None:
+            chunk_done = None
+        else:
+            remaining = len(order)
+
+            def chunk_done(when: float) -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    on_complete(when)
+
+        times = {index: channels[index].issue_window(group)
+                 for index, group in per_channel.items()}
+        schedule_at = self._engine.schedule_at
+        for index, pos in order:
+            channel = channels[index]
+            schedule_at(times[index][pos], channel._complete_fast,
+                        per_channel[index][pos][2], is_write, is_demand,
+                        chunk_done)
+        return True
+
+    def access_turbo(self, addr: int, size: int, is_write: bool,
+                     is_demand: bool,
+                     on_complete: Optional[Callable[[float], None]]) -> None:
+        """Batch-mode single dispatcher: one bounds check, one mapping,
+        then the channel fast path when it is eligible or the queued
+        path when it is not.
+
+        Semantically ``access_fast(...) or access(...)`` — the pattern
+        the batch controller used per op — with the double bounds check
+        and the second address mapping of the fallback removed.  In the
+        queue-bound bench regime most fast-path attempts decline, so the
+        wasted ``access_fast`` call was pure overhead on the hot path.
+        """
+        if (self.metadata_base is None or addr < self.metadata_base) and \
+                0 <= addr and addr + size <= self.capacity_bytes and \
+                addr % CHANNEL_INTERLEAVE_BYTES + size <= CHANNEL_INTERLEAVE_BYTES \
+                and size > 0:
+            nchan = self._nchan
+            unit = addr // CHANNEL_INTERLEAVE_BYTES
+            within = (unit // nchan * CHANNEL_INTERLEAVE_BYTES
+                      + addr % CHANNEL_INTERLEAVE_BYTES)
+            row_bytes = self._row_bytes
+            row_index = within // row_bytes
+            banks = self._banks_per_ch
+            channel = self.channels[unit % nchan]
+            if (channel._demand_queue or channel._background_queue
+                    or channel._inflight >= channel.pipeline_depth):
+                channel.submit(DRAMRequest(
+                    addr=addr,
+                    size=size,
+                    is_write=is_write,
+                    priority=Priority.DEMAND if is_demand
+                    else Priority.BACKGROUND,
+                    arrival=self._engine.now,
+                    coords=DRAMCoordinates(unit % nchan, row_index % banks,
+                                           row_index // banks,
+                                           within % row_bytes),
+                    on_complete=on_complete,
+                ))
+            else:
+                channel.submit_fast(row_index % banks, row_index // banks,
+                                    size, is_write, is_demand, on_complete)
+            return
+        # metadata region, multi-chunk, or out-of-range (the existing
+        # paths raise the same errors the scalar engine would)
+        if not self.access_fast(addr, size, is_write, is_demand,
+                                on_complete):
+            self.access(addr, size, is_write,
+                        Priority.DEMAND if is_demand else Priority.BACKGROUND,
+                        on_complete)
 
     def _access_metadata(self, addr: int, size: int, is_write: bool,
                          priority: Priority,

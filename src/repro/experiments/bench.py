@@ -22,7 +22,17 @@ request's issue-to-retire latency, so a change that quietly lengthens
 the tail (a scheduling bug, a lost coalescing opportunity) fails the
 regression gate even when throughput and the mean stay flat.  The tails
 are deterministic given the pinned seed — the gate threshold is
-host-noise-free and tight.
+host-noise-free and tight.  ``--quick`` runs skip the tail pass unless
+the config explicitly enables span sampling: the CI-sized suite exists
+for throughput, and the untimed pass used to double its runtime.
+
+Since schema v4 each cell is run **twice**, scalar and batched
+(``SystemConfig.batch_window = BENCH_BATCH_WINDOW``), both timed.  The
+two runs' ``RunResult`` digests must be identical — the bench refuses
+to report a speedup for an engine that changed behaviour — and the cell
+carries ``batched_wall_seconds``/``batched_accesses_per_sec``/
+``batch_speedup`` so the regression gate can hold both engines to their
+baselines.
 """
 
 from __future__ import annotations
@@ -43,7 +53,12 @@ from repro.stats.collectors import geometric_mean
 #: MSHR-coalescing variant of the paper scheme.
 #: v3: cells gained ``p95_latency``/``p99_latency`` request-latency
 #: tails (simulation cycles, from a separate untimed span-sampled run).
-BENCH_SCHEMA_VERSION = 3
+#: v4: cells gained a timed batch-engine twin run
+#: (``batched_wall_seconds``/``batched_accesses_per_sec``/
+#: ``batch_speedup``, digest-checked against the scalar run) and the
+#: throughput summary a ``batched_accesses_per_sec`` total; quick runs
+#: stopped carrying tails unless span sampling is enabled in the config.
+BENCH_SCHEMA_VERSION = 4
 
 #: pinned seed — throughput comparisons need identical event streams.
 BENCH_SEED = 1234
@@ -54,6 +69,11 @@ BENCH_MSHR_ENTRIES = 32
 
 #: telemetry window for the untimed tail-latency companion run.
 BENCH_TAIL_WINDOW = 50_000
+
+#: miss-stream window for the batch-engine twin run (v4).  Pinned like
+#: the seed: the speedup column is only comparable across checkouts if
+#: every run batches the same way.
+BENCH_BATCH_WINDOW = 256
 
 #: suites are (cell key, scheme, mshr_entries) triples; the key names
 #: the cell in the JSON and stays stable across schema versions.
@@ -99,9 +119,16 @@ class BenchCell:
     #: run so the throughput numbers stay comparable to older baselines).
     #: Deterministic given the pinned seed, so the regression gate can be
     #: much tighter than the wall-clock one.  ``None`` = histogram
-    #: overflow (or a pre-v3 baseline).
+    #: overflow, a pre-v3 baseline, or a quick run with tails disabled.
     p95_latency: Optional[float] = None
     p99_latency: Optional[float] = None
+    #: batch-engine twin run (schema v4): same cell with
+    #: ``batch_window = BENCH_BATCH_WINDOW``, digest-checked against the
+    #: scalar run before its throughput is reported.
+    batched_wall_seconds: Optional[float] = None
+    batched_accesses_per_sec: Optional[float] = None
+    #: scalar wall / batched wall (>1 = the batch engine is faster).
+    batch_speedup: Optional[float] = None
 
     def to_dict(self) -> Dict:
         return dict(self.__dict__)
@@ -119,6 +146,9 @@ def run_bench(quick: bool = False,
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
     misses = QUICK_MISSES if quick else FULL_MISSES
     config = config or default_config()
+    # the tail pass is untimed and doubles a cell's cost; quick runs
+    # skip it unless the caller's config explicitly samples spans.
+    measure_tails = (not quick) or config.span_sample_rate > 0
 
     cells: List[BenchCell] = []
     results: Dict[tuple, object] = {}
@@ -133,16 +163,38 @@ def run_bench(quick: bool = False,
             wall = time.perf_counter() - start
             results[(key, workload)] = result
             accesses = misses * config.cores
-            # tail latencies come from a second run with span sampling,
-            # deliberately outside the perf_counter window: the timed run
-            # stays span-free so accesses_per_sec is comparable across
-            # baselines that predate span tracing.
-            tail_config = dataclasses.replace(
-                cell_config, telemetry_window=BENCH_TAIL_WINDOW,
-                span_sample_rate=1)
-            tail_result = run_one(scheme, workload, tail_config,
-                                  misses_per_core=misses, seed=BENCH_SEED)
-            tails = tail_result.telemetry["spans"]["latency"]
+            # batch-engine twin (v4): same cell, batched windows.  The
+            # digest check makes the speedup claim honest — a batch
+            # engine that drifts from the scalar engine has no
+            # throughput to report, it has a bug.
+            batched_config = dataclasses.replace(
+                cell_config, batch_window=BENCH_BATCH_WINDOW)
+            start = time.perf_counter()
+            batched_result = run_one(scheme, workload, batched_config,
+                                     misses_per_core=misses,
+                                     seed=BENCH_SEED)
+            batched_wall = time.perf_counter() - start
+            scalar_digest = json.dumps(result.to_dict(), sort_keys=True)
+            batched_digest = json.dumps(batched_result.to_dict(),
+                                        sort_keys=True)
+            if batched_digest != scalar_digest:
+                raise AssertionError(
+                    f"batch engine diverged from scalar on bench cell "
+                    f"{key}/{workload}; run the equivalence suite "
+                    "(tests/integration/test_batch_equivalence.py)")
+            tails = {"p95": None, "p99": None}
+            if measure_tails:
+                # tail latencies come from a run with span sampling,
+                # deliberately outside the perf_counter windows: the
+                # timed runs stay span-free so accesses_per_sec is
+                # comparable across baselines that predate span tracing.
+                tail_config = dataclasses.replace(
+                    cell_config, telemetry_window=BENCH_TAIL_WINDOW,
+                    span_sample_rate=1)
+                tail_result = run_one(scheme, workload, tail_config,
+                                      misses_per_core=misses,
+                                      seed=BENCH_SEED)
+                tails = tail_result.telemetry["spans"]["latency"]
             cells.append(BenchCell(
                 key=key,
                 scheme=scheme,
@@ -156,6 +208,11 @@ def run_bench(quick: bool = False,
                 access_rate=round(result.access_rate, 4),
                 p95_latency=tails["p95"],
                 p99_latency=tails["p99"],
+                batched_wall_seconds=round(batched_wall, 4),
+                batched_accesses_per_sec=(round(accesses / batched_wall, 1)
+                                          if batched_wall else 0.0),
+                batch_speedup=(round(wall / batched_wall, 2)
+                               if batched_wall else 0.0),
             ))
 
     # headline figures of merit: per-workload speedups over the no-NM
@@ -173,12 +230,14 @@ def run_bench(quick: bool = False,
         speedups[key] = per_wl
 
     total_wall = sum(c.wall_seconds for c in cells)
+    total_batched_wall = sum(c.batched_wall_seconds for c in cells)
     total_accesses = sum(c.accesses for c in cells)
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "date": today or time.strftime("%Y-%m-%d"),
         "quick": quick,
         "seed": BENCH_SEED,
+        "batch_window": BENCH_BATCH_WINDOW,
         "platform": {
             "python": sys.version.split()[0],
             "implementation": platform.python_implementation(),
@@ -191,6 +250,12 @@ def run_bench(quick: bool = False,
             "total_accesses": total_accesses,
             "accesses_per_sec": (round(total_accesses / total_wall, 1)
                                  if total_wall else 0.0),
+            "batched_wall_seconds": round(total_batched_wall, 4),
+            "batched_accesses_per_sec": (
+                round(total_accesses / total_batched_wall, 1)
+                if total_batched_wall else 0.0),
+            "batch_speedup": (round(total_wall / total_batched_wall, 2)
+                              if total_batched_wall else 0.0),
         },
         "figures_of_merit": {"speedup_over_nonm": speedups},
     }

@@ -202,6 +202,27 @@ class MemoryScheme(abc.ABC):
         """Called once per LLC miss for age/epoch bookkeeping."""
 
     # ------------------------------------------------------------------
+    def access_fast(self, paddr: int, is_write: bool,
+                    pc: int = 0) -> Optional[Tuple[bool, int, int, bool]]:
+        """Allocation-free fast path for the batch engine's common case.
+
+        When this miss resolves to a *single critical-path op with no
+        background traffic*, a scheme may handle it here: apply exactly
+        the metadata/counter updates :meth:`access` would (including
+        ``record_plan``'s counters) and return ``(is_nm, addr, size,
+        op_is_write)`` instead of building an :class:`AccessPlan`
+        (``op_is_write`` is the *device op's* write flag — a write miss
+        still fetches with a read op in most schemes).  Return ``None`` —
+        **before mutating any state** — to make the controller fall
+        back to :meth:`access`; the base always does, so schemes opt in
+        per hot shape.  Only the batch engine
+        (:class:`repro.cpu.batch.BatchFlatMemoryController`) calls
+        this; the scalar path never does, and equivalence of the two is
+        gated by ``tests/integration/test_batch_equivalence.py``.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     @abc.abstractmethod
     def check_invariants(self) -> None:
         """Verify the scheme's remapping metadata is self-consistent.

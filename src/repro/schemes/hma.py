@@ -95,6 +95,28 @@ class HmaScheme(MemoryScheme):
         self.record_plan(plan)
         return plan
 
+    def access_fast(self, paddr: int, is_write: bool, pc: int = 0):
+        """Batch-engine fast path: between epochs the mapping is frozen
+        and every access is one subblock read with no background, so
+        :meth:`access` inlines entirely (the epoch machinery runs off
+        the engine's timer, not from here)."""
+        block = paddr // BLOCK_BYTES
+        within = paddr % BLOCK_BYTES
+        aligned = within - within % SUBBLOCK_BYTES
+        counts = self._counts
+        counts[block] = counts.get(block, 0) + 1
+        stats = self.stats
+        stats.misses += 1
+        frame = self._frame_of.get(block)
+        if frame is not None:
+            stats.nm_serviced += 1
+            return (True, frame * BLOCK_BYTES + aligned,
+                    SUBBLOCK_BYTES, False)
+        stats.fm_serviced += 1
+        home = self._home_of.get(block, block)
+        return (False, self._fm_offset_of_block(home) + aligned,
+                SUBBLOCK_BYTES, False)
+
     def attach_telemetry(self, hub) -> None:
         """Epoch-level probes: migration burstiness is HMA's defining
         time-domain behaviour (all movement clusters at epoch

@@ -1,0 +1,118 @@
+"""Property proof for the batch engine's DRAM kernel: random request
+windows through :func:`repro.dram.batch.window_timing` must produce the
+same completion times — and leave the channel in the same state — as
+replaying the chunks one at a time through ``Bank.prepare`` and the bus
+recurrence (the scalar fast path's math, written independently here).
+
+Element-wise ``==`` on floats is deliberate: the equivalence contract
+is bit-identical, not approximately-equal, so any reassociated float
+add in the vectorized kernel fails immediately.
+"""
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.dram.batch import VECTOR_THRESHOLD, window_timing
+from repro.dram.channel import Channel
+from repro.dram.timing import DRAMTimings
+from repro.sim.engine import Engine
+
+TIMINGS = DRAMTimings(name="prop", channels=1, banks_per_rank=4)
+N_BANKS = TIMINGS.banks
+N_ROWS = 3
+
+# one chunk: (bank, row, size).  Sizes mix sub-beat, subblock, the
+# 72 B tag-and-data burst, and row-sized transfers.
+chunk = st.tuples(st.integers(0, N_BANKS - 1), st.integers(0, N_ROWS - 1),
+                  st.sampled_from([8, 32, 64, 72, 256, 1024]))
+windows = st.lists(chunk, min_size=0, max_size=16)
+#: a warmup prefix replayed identically on both channels so windows
+#: start from arbitrary open-row / busy-until / bus states.
+prefixes = st.lists(chunk, min_size=0, max_size=8)
+
+
+def _fresh_channel() -> Channel:
+    return Channel(Engine(), TIMINGS)
+
+
+def _scalar_replay(channel, chunks, now):
+    """Independent scalar reference: per-chunk ``Bank.prepare`` + the
+    bus chain + the stats adds, exactly as ``submit_fast`` does them."""
+    t = channel._t
+    cpm = channel._cpm
+    stats = channel.stats
+    bus_free = channel._bus_free
+    completions = []
+    for bank_index, row, size in chunks:
+        ready_at = channel._banks[bank_index].prepare(row, now)
+        burst = t.burst_mem_cycles(size) * cpm
+        data_start = ready_at if ready_at > bus_free else bus_free
+        bus_free = data_start + burst
+        stats.bus_busy_cycles += burst
+        stats.total_queue_wait += data_start - now
+        completions.append(bus_free)
+    channel._bus_free = bus_free
+    return completions
+
+
+def _state(channel):
+    return (
+        channel._bus_free,
+        channel.stats.bus_busy_cycles,
+        channel.stats.total_queue_wait,
+        [(b.open_row, b.ready, b._activated_at,
+          b.stats.row_hits, b.stats.row_closed, b.stats.row_conflicts)
+         for b in channel._banks],
+    )
+
+
+def _assert_equivalent(prefix, window, now):
+    vec = _fresh_channel()
+    ref = _fresh_channel()
+    if prefix:
+        assert _scalar_replay(vec, prefix, 0.0) == \
+            _scalar_replay(ref, prefix, 0.0)
+    got = window_timing(vec, window, now)
+    expected = _scalar_replay(ref, window, now)
+    assert got == expected
+    assert _state(vec) == _state(ref)
+
+
+# pinned boundary cases: each is a shape that would falsify a specific
+# batch-kernel bug (they predate hypothesis shrinking — keep them even
+# if the strategies change).
+@example(prefix=[], window=[(0, 0, 64)] * VECTOR_THRESHOLD, now=0.0)
+# conflict seed: the prefix opens row 0, the window's first access to
+# bank 0 must pay the precharge/activate chain (drop-row-close shape)
+@example(prefix=[(0, 0, 64)], window=[(0, 1, 64)] * VECTOR_THRESHOLD,
+         now=100.0)
+# stale-busy shape: back-to-back same-bank hits must chain off the
+# bank's advancing ready time, not its pre-window value
+@example(prefix=[(1, 2, 1024)],
+         window=[(1, 2, 64), (1, 2, 64), (1, 2, 64), (1, 2, 64)], now=0.0)
+# bus-bound window: four banks ready at once serialize on the data bus
+@example(prefix=[], window=[(0, 0, 256), (1, 0, 256), (2, 0, 256),
+                            (3, 0, 256)], now=5.5)
+@given(prefix=prefixes, window=windows,
+       now=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     allow_infinity=False))
+@settings(deadline=None, max_examples=200)
+def test_window_timing_matches_scalar_replay(prefix, window, now):
+    _assert_equivalent(prefix, window, now)
+
+
+@given(prefix=prefixes,
+       window=st.lists(
+           st.tuples(st.integers(0, N_BANKS - 1),
+                     st.sampled_from([8, 64, 72, 1024])),
+           min_size=VECTOR_THRESHOLD, max_size=16),
+       row_of_bank=st.lists(st.integers(0, N_ROWS - 1), min_size=N_BANKS,
+                            max_size=N_BANKS),
+       now=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     allow_infinity=False))
+@settings(deadline=None, max_examples=200)
+def test_vector_path_matches_scalar_replay(prefix, window, row_of_bank, now):
+    """Same property restricted to windows with one row per bank group —
+    the shape the numpy path (rather than its scalar fallback) handles —
+    so the CAS-chain accumulate is exercised on every example."""
+    chunks = [(bank, row_of_bank[bank], size) for bank, size in window]
+    _assert_equivalent(prefix, chunks, now)

@@ -53,12 +53,56 @@ def test_mshr_variant_pins_scheme_and_entries(quick_payload):
     assert variants["silc"]["mshr_entries"] == 0
 
 
-def test_cells_carry_latency_tails(quick_payload):
-    """Schema v3: every cell reports deterministic p95/p99 request
-    latencies from the untimed span-sampled tail run."""
+def test_quick_cells_skip_latency_tails(quick_payload):
+    """Schema v4: quick runs with span sampling off in the config skip
+    the untimed tail pass entirely — the tails are reported as None,
+    not measured behind the caller's back."""
     for cell in quick_payload["cells"]:
-        assert cell["p95_latency"] > 0
-        assert cell["p99_latency"] >= cell["p95_latency"]
+        assert cell["p95_latency"] is None
+        assert cell["p99_latency"] is None
+
+
+def _shrink_quick_suite(monkeypatch):
+    """One tiny cell so harness-logic tests stay fast (the pinned bench
+    definition is irrelevant to what they assert)."""
+    import repro.experiments.bench as bench
+
+    monkeypatch.setattr(bench, "QUICK_VARIANTS", [("nonm", "nonm", 0)])
+    monkeypatch.setattr(bench, "QUICK_WORKLOADS", ["mcf"])
+    monkeypatch.setattr(bench, "QUICK_MISSES", 150)
+
+
+def test_quick_run_makes_no_tail_pass(monkeypatch):
+    """The fixed bug: --quick used to re-run every cell span-sampled
+    even with span_sample_rate=0 inherited from the config.  A quick
+    cell must now run exactly twice: scalar + batched twin."""
+    import repro.experiments.runner as runner
+
+    _shrink_quick_suite(monkeypatch)
+    calls = []
+    real_run_one = runner.run_one
+
+    def counting(scheme, workload, config, **kwargs):
+        calls.append(config.span_sample_rate)
+        return real_run_one(scheme, workload, config, **kwargs)
+
+    monkeypatch.setattr(runner, "run_one", counting)
+    run_bench(quick=True, config=default_config(scale=0.25))
+    assert len(calls) == 2
+    assert all(rate == 0 for rate in calls)
+
+
+def test_quick_run_measures_tails_when_spans_enabled(monkeypatch):
+    """Opting in via the config (span_sample_rate > 0) restores the
+    tail pass on quick runs."""
+    _shrink_quick_suite(monkeypatch)
+    config = dataclasses.replace(
+        default_config(scale=0.25), telemetry_window=50_000,
+        span_sample_rate=1)
+    payload = run_bench(quick=True, config=config)
+    (cell,) = payload["cells"]
+    assert cell["p95_latency"] > 0
+    assert cell["p99_latency"] >= cell["p95_latency"]
 
 
 def test_payload_throughput_totals(quick_payload):
@@ -67,6 +111,52 @@ def test_payload_throughput_totals(quick_payload):
     assert totals["total_accesses"] == sum(c["accesses"] for c in cells)
     assert totals["total_wall_seconds"] == pytest.approx(
         sum(c["wall_seconds"] for c in cells))
+    assert totals["batched_wall_seconds"] == pytest.approx(
+        sum(c["batched_wall_seconds"] for c in cells))
+    assert totals["batched_accesses_per_sec"] > 0
+    assert totals["batch_speedup"] > 0
+
+
+def test_cells_carry_batched_twin(quick_payload):
+    """Schema v4: every cell times a digest-checked batch-engine twin."""
+    assert quick_payload["batch_window"] > 0
+    for cell in quick_payload["cells"]:
+        assert cell["batched_wall_seconds"] > 0
+        assert cell["batched_accesses_per_sec"] > 0
+        assert cell["batch_speedup"] == pytest.approx(
+            cell["wall_seconds"] / cell["batched_wall_seconds"], abs=0.01)
+
+
+def test_bench_refuses_diverged_batch_engine(monkeypatch):
+    """The speedup claim is gated on bit-identical results: when the
+    batched twin's RunResult differs from the scalar run's, the bench
+    raises instead of reporting a throughput for a buggy engine."""
+    import repro.experiments.runner as runner
+
+    _shrink_quick_suite(monkeypatch)
+
+    class FakeResult:
+        def __init__(self, cycles):
+            self.elapsed_cycles = cycles
+            self.access_rate = 1.0
+
+        def to_dict(self):
+            return {"elapsed_cycles": self.elapsed_cycles}
+
+        def speedup_over(self, other):
+            return other.elapsed_cycles / self.elapsed_cycles
+
+    calls = []
+
+    def fake_run_one(scheme, workload, config, **kwargs):
+        calls.append(config.batch_window)
+        # scalar run (batch_window == 0) and batched twin disagree
+        return FakeResult(100.0 if config.batch_window == 0 else 99.0)
+
+    monkeypatch.setattr(runner, "run_one", fake_run_one)
+    with pytest.raises(AssertionError, match="diverged"):
+        run_bench(quick=True, config=default_config(scale=0.25))
+    assert calls == [0, 256]
 
 
 def test_payload_figures_of_merit(quick_payload):

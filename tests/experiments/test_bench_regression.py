@@ -12,17 +12,22 @@ sys.path.insert(0, str(SCRIPTS))
 from check_bench_regression import main  # noqa: E402
 
 
-def _payload(rates, total, tails=None):
+def _payload(rates, total, tails=None, batched=None, batched_total=None):
     cells = []
     for (key, wl), rate in rates.items():
         cell = {"key": key, "scheme": key.split("-")[0], "workload": wl,
                 "accesses_per_sec": rate}
         if tails and (key, wl) in tails:
             cell["p95_latency"], cell["p99_latency"] = tails[(key, wl)]
+        if batched and (key, wl) in batched:
+            cell["batched_accesses_per_sec"] = batched[(key, wl)]
         cells.append(cell)
+    throughput = {"accesses_per_sec": total}
+    if batched_total is not None:
+        throughput["batched_accesses_per_sec"] = batched_total
     return {
         "cells": cells,
-        "throughput": {"accesses_per_sec": total},
+        "throughput": throughput,
     }
 
 
@@ -132,6 +137,16 @@ def test_pre_v3_baseline_skips_tail_gate(tmp_path, capsys):
     assert main([null_base, cur]) == 0
 
 
+def test_tailless_current_run_skips_tail_gate(tmp_path, capsys):
+    """A v4 quick run measures no tails at all (span sampling off); the
+    gate must not read the missing columns as overflow against a
+    tail-carrying baseline."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, TAILS))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0))
+    assert main([base, cur]) == 0
+    assert "tail gate skipped" in capsys.readouterr().out
+
+
 def test_current_overflow_against_finite_baseline_fails(tmp_path, capsys):
     """Baseline measured a finite p99 but the current run overflowed the
     histogram: that is a tail blow-up, not missing data."""
@@ -140,6 +155,63 @@ def test_current_overflow_against_finite_baseline_fails(tmp_path, capsys):
         ("silc", "mcf"): (2200.0, None)}))
     assert main([base, cur]) == 1
     assert "overflow" in capsys.readouterr().out
+
+
+def test_batched_regression_fails(tmp_path, capsys):
+    """Schema v4: the batch engine's throughput is gated with the same
+    threshold as the scalar column."""
+    batched = {("nonm", "mcf"): 40000.0, ("silc", "mcf"): 20000.0}
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, batched=batched, batched_total=30000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0,
+        batched={("nonm", "mcf"): 40000.0, ("silc", "mcf"): 10000.0},
+        batched_total=25000.0))
+    assert main([base, cur]) == 1
+    assert "silc/mcf:batched" in capsys.readouterr().err
+
+
+def test_batched_total_regression_fails(tmp_path, capsys):
+    batched = {("nonm", "mcf"): 40000.0, ("silc", "mcf"): 20000.0}
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, batched=batched, batched_total=30000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, batched={k: v * 0.8 for k, v in batched.items()},
+        batched_total=20000.0))
+    assert main([base, cur]) == 1
+    assert "total:batched" in capsys.readouterr().err
+
+
+def test_pre_v4_baseline_skips_batched_gate(tmp_path):
+    """A baseline without batched columns gates nothing — regenerating
+    the baseline with the v4 harness turns the check on."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, batched={("silc", "mcf"): 1.0}, batched_total=1.0))
+    assert main([base, cur]) == 0
+
+
+def test_batched_column_dropped_fails(tmp_path, capsys):
+    """Baseline measured the batch engine but the current run carries no
+    batched column — the gate must not wave the engine's removal through."""
+    batched = {("nonm", "mcf"): 40000.0, ("silc", "mcf"): 20000.0}
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, batched=batched, batched_total=30000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0))
+    assert main([base, cur]) == 1
+    captured = capsys.readouterr()
+    assert "missing" in captured.out
+    assert "total:batched" in captured.err
+
+
+def test_batched_improvement_passes(tmp_path):
+    batched = {("nonm", "mcf"): 40000.0, ("silc", "mcf"): 20000.0}
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, batched=batched, batched_total=30000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, batched={k: v * 2 for k, v in batched.items()},
+        batched_total=60000.0))
+    assert main([base, cur]) == 0
 
 
 def test_tail_threshold_flag(tmp_path):

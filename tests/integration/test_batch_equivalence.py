@@ -1,0 +1,94 @@
+"""The batch engine's equivalence contract: ``batch_window > 0`` must
+reproduce the scalar engine's ``RunResult`` byte for byte.
+
+Three layers of proof, from broad to anchored:
+
+* the **differential grid** — every registered scheme x three workload
+  shapes (pointer-chasing mcf, stream-like lbm, and the heterogeneous
+  mix-blend) x three MSHR configurations (compatibility 0, stall-heavy
+  8, roomy 32), scalar vs batched from the same seed;
+* an **oracle-checked pass** per scheme — the validation oracle rides a
+  batched run (forcing the controller's per-request scalar fallback
+  while batched trace generation stays), proving ``--check`` coverage
+  is unchanged;
+* the **golden anchor** — the batched engine must reproduce the
+  committed ``tests/data/golden/*.json`` bytes, tying the equivalence
+  class to the repository's pinned history, not just to whatever the
+  scalar engine currently does.
+
+``tests/integration/test_batch_mutations.py`` proves this suite has
+teeth: three deliberately planted batch-path bugs each make it fail.
+"""
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.mixes import run_mix
+from repro.experiments.runner import SCHEMES, run_one
+from repro.sim.config import default_config
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+from gen_golden_results import (  # noqa: E402
+    GOLDEN_DIR, SCHEMES as GOLDEN_SCHEMES, WORKLOAD as GOLDEN_WORKLOAD,
+    golden_json)
+
+SEED = 7
+MISSES = 300
+SCALE = 0.25
+#: the window under test; odd-sized vs the 300-miss trace so window
+#: boundaries land mid-stream (the off-by-one surface).
+BATCH_WINDOW = 64
+
+WORKLOADS = ("mcf", "lbm", "mix-blend")
+MSHR_CONFIGS = (0, 8, 32)
+
+
+def _run_json(scheme: str, workload: str, mshr_entries: int,
+              batch_window: int, check_interval: float = 0.0) -> str:
+    config = dataclasses.replace(
+        default_config(SCALE), seed=SEED, batch_window=batch_window,
+        mshr_entries=mshr_entries, check_interval=check_interval)
+    if workload.startswith("mix-"):
+        result = run_mix(scheme, workload, config,
+                         misses_per_core=MISSES, seed=SEED)
+    else:
+        result = run_one(scheme, workload, config, misses_per_core=MISSES)
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("mshr_entries", MSHR_CONFIGS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_batched_run_is_byte_identical(scheme, workload, mshr_entries):
+    scalar = _run_json(scheme, workload, mshr_entries, 0)
+    batched = _run_json(scheme, workload, mshr_entries, BATCH_WINDOW)
+    assert batched == scalar, (
+        f"batch engine diverged from scalar for {scheme}/{workload}/"
+        f"mshr={mshr_entries}")
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_oracle_checked_batched_run(scheme):
+    """The differential oracle must pass (no InvariantViolation) on a
+    batched run and leave the result identical to a scalar checked run:
+    ``--check`` loses no coverage to the batch engine."""
+    scalar = _run_json(scheme, "mcf", 8, 0, check_interval=5_000.0)
+    batched = _run_json(scheme, "mcf", 8, BATCH_WINDOW,
+                        check_interval=5_000.0)
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+def test_batched_run_matches_committed_golden(scheme):
+    """Anchor: the batched engine reproduces the committed golden bytes
+    (captured on the scalar engine), not merely the scalar engine's
+    current output."""
+    golden = (GOLDEN_DIR / f"{scheme}-{GOLDEN_WORKLOAD}.json").read_text()
+    assert golden_json(scheme, batch_window=BATCH_WINDOW) == golden, (
+        f"{scheme} batched RunResult drifted from the committed golden")

@@ -1,0 +1,62 @@
+"""Mutation self-tests: prove the differential harness has teeth.
+
+A harness asserting scalar == batched proves nothing if it would also
+pass with a broken batch engine.  Here three deliberate, realistic
+batch-path bugs are planted behind the test-only hook in
+:mod:`repro.sim.faults` — a window-boundary off-by-one in the trace
+generator, a dropped row-buffer close, and a stale bank busy-until time
+in the channel fast path — and each must make the equivalence check
+FAIL.  The scalar reference never consults the fault hook, so any
+surviving mutant means the harness lost its sensitivity to that class
+of bug.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.runner import run_one
+from repro.sim import faults
+from repro.sim.config import default_config
+
+SEED = 7
+MISSES = 300
+BATCH_WINDOW = 64
+
+
+def _run_json(batch_window: int) -> str:
+    config = dataclasses.replace(
+        default_config(0.25), seed=SEED, batch_window=batch_window,
+        mshr_entries=8)
+    result = run_one("silc", "mcf", config, misses_per_core=MISSES)
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("fault", faults.KNOWN)
+def test_planted_fault_trips_the_equivalence_check(fault):
+    scalar = _run_json(0)
+    with faults.inject(fault):
+        mutated = _run_json(BATCH_WINDOW)
+    assert mutated != scalar, (
+        f"planted fault {fault!r} survived the equivalence check — the "
+        "differential harness cannot detect this bug class")
+
+
+def test_fault_free_rerun_recovers_equivalence():
+    """The fault hook must leave no residue: after a mutated run, a
+    clean batched run is byte-identical to scalar again."""
+    scalar = _run_json(0)
+    with faults.inject(faults.KNOWN[0]):
+        _run_json(BATCH_WINDOW)
+    assert _run_json(BATCH_WINDOW) == scalar
+
+
+def test_inject_rejects_unknown_and_nested_faults():
+    with pytest.raises(ValueError):
+        with faults.inject("not-a-fault"):
+            pass
+    with faults.inject(faults.KNOWN[0]):
+        with pytest.raises(RuntimeError):
+            with faults.inject(faults.KNOWN[1]):
+                pass
