@@ -21,12 +21,14 @@ cfgb = dataclasses.replace(base, batch_window=256)
 run_one("silc", "mcf", cfgb, misses_per_core=200, seed=99)  # warm imports
 
 tot_s = tot_b = 0.0
-for name in ["nonm", "silc", "silc-mshr32"]:
+# mirror the quick-bench variants: nonm/silc at the default (MLP-sized)
+# MSHR file, plus compat-mode silc (mshr_entries=0) as the reference
+for name in ["nonm", "silc", "silc-compat"]:
     sch = "nonm" if name == "nonm" else "silc"
-    cs = base if "mshr" not in name else dataclasses.replace(
-        base, mshr_entries=32)
-    cb = cfgb if "mshr" not in name else dataclasses.replace(
-        cfgb, mshr_entries=32)
+    cs = base if "compat" not in name else dataclasses.replace(
+        base, mshr_entries=0)
+    cb = cfgb if "compat" not in name else dataclasses.replace(
+        cfgb, mshr_entries=0)
     best_s = best_b = float("inf")
     ident = True
     for _ in range(REPS):

@@ -34,6 +34,16 @@ with the same ``--threshold`` as the scalar column, and skipped when
 the baseline predates schema v4 — so one gate run holds both engines
 to their baselines, and a change that quietly de-optimizes only the
 batched path cannot hide behind a healthy scalar number.
+
+Schema-v5 payloads carry a ``silc-compat`` cell (``mshr_entries=0``)
+next to the default-MSHR ``silc`` cell, and the gate additionally
+checks the **MSHR dominance figure of merit** on the *current* run:
+silc's speedup-over-nonm geomean with the default MSHR file must be at
+least its compat-mode twin's.  This pins the silc-mshr32 postmortem's
+conclusion — the transaction pipeline must be a win, never a modeling
+tax — deterministically (simulation cycles, not wall clock), so an
+MSHR policy regression cannot ride in behind healthy throughput
+numbers.  Skipped for payloads that predate the v5 suite.
 """
 
 from __future__ import annotations
@@ -69,7 +79,30 @@ def load_cells(path: str):
     measured_tails = any(tail is not None
                          for cell in cells.values()
                          for tail in cell["tails"].values())
-    return cells, total, measured_tails
+    speedups = (payload.get("figures_of_merit") or {}).get(
+        "speedup_over_nonm") or {}
+    return cells, total, measured_tails, speedups
+
+
+def check_mshr_dominance(speedups, failures):
+    """Schema-v5 figure-of-merit gate, evaluated on the *current* run
+    alone: silc with the default MSHR file must keep a speedup-over-nonm
+    geomean at least as high as its compat-mode twin (``silc-compat``,
+    ``mshr_entries=0``).  Both speedups share the same nonm denominator,
+    so this is a pure simulation-cycle comparison — deterministic, and
+    immune to the CI-host noise the throughput thresholds absorb."""
+    silc = speedups.get("silc")
+    compat = speedups.get("silc-compat")
+    if not isinstance(silc, dict) or not isinstance(compat, dict):
+        print("  note: no silc/silc-compat figures of merit "
+              "(pre-v5 payload) — MSHR dominance gate skipped")
+        return
+    marker = ""
+    if silc["geomean"] < compat["geomean"]:
+        failures.append("fom:mshr-dominance")
+        marker = "  <-- REGRESSION"
+    print(f"  silc speedup geomean: default-MSHR {silc['geomean']:.4f} "
+          f"vs compat {compat['geomean']:.4f}{marker}")
 
 
 def check_batched(label, base, cur, threshold, failures):
@@ -137,8 +170,9 @@ def main(argv=None) -> int:
     if args.tail_threshold <= 0:
         parser.error("--tail-threshold must be positive")
 
-    base_cells, base_total, _ = load_cells(args.baseline)
-    cur_cells, cur_total, cur_measured_tails = load_cells(args.current)
+    base_cells, base_total, _, _ = load_cells(args.baseline)
+    (cur_cells, cur_total, cur_measured_tails,
+     cur_speedups) = load_cells(args.current)
     if not cur_measured_tails:
         print("  note: current run measured no latency tails "
               "(quick run with span sampling off) — tail gate skipped")
@@ -181,6 +215,7 @@ def main(argv=None) -> int:
     check_batched("total", base_total["batched_accesses_per_sec"],
                   cur_total["batched_accesses_per_sec"],
                   args.threshold, failures)
+    check_mshr_dominance(cur_speedups, failures)
 
     if failures:
         print(f"FAIL: regression past thresholds "

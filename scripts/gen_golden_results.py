@@ -35,13 +35,20 @@ SEED = 7
 SCALE = 0.25
 
 
-def golden_json(scheme: str, batch_window: int = 0) -> str:
+def golden_json(scheme: str, batch_window: int = 0,
+                mshr_entries: int | None = None) -> str:
     """Run one golden-grid cell.  ``batch_window`` selects the batch
     engine (0 = scalar); both must reproduce the same committed bytes —
-    the goldens are the equivalence contract's anchor."""
+    the goldens are the equivalence contract's anchor.  ``mshr_entries``
+    overrides the config default: ``None`` runs the default MSHR
+    pipeline (the ``{scheme}-{workload}.json`` goldens), 0 the compat
+    front door (the ``{scheme}-{workload}-compat.json`` goldens, whose
+    bytes are the pre-MSHR pins carried forward unchanged)."""
     config = default_config(scale=SCALE)
     if batch_window:
         config = dataclasses.replace(config, batch_window=batch_window)
+    if mshr_entries is not None:
+        config = dataclasses.replace(config, mshr_entries=mshr_entries)
     result = run_one(scheme, WORKLOAD, config,
                      misses_per_core=MISSES, seed=SEED)
     return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -53,6 +60,9 @@ def main() -> None:
         path = GOLDEN_DIR / f"{scheme}-{WORKLOAD}.json"
         path.write_text(golden_json(scheme))
         print(f"wrote {path}")
+        compat = GOLDEN_DIR / f"{scheme}-{WORKLOAD}-compat.json"
+        compat.write_text(golden_json(scheme, mshr_entries=0))
+        print(f"wrote {compat}")
 
 
 if __name__ == "__main__":

@@ -99,10 +99,10 @@ def _add_check_flags(sub_parser: argparse.ArgumentParser) -> None:
 def _add_mshr_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--mshr-entries", type=int, default=None, metavar="N",
-        help="MSHR file size: same-subblock misses coalesce onto one"
-             " in-flight transaction, arrivals beyond N entries stall"
-             " structurally (default 0 = no MSHR, pre-transaction"
-             " behaviour)")
+        help="MSHR file size: same-subblock read misses coalesce onto"
+             " one in-flight transaction, arrivals beyond N entries"
+             " stall structurally (default: the config's MLP-sized"
+             " file; pass 0 for the compat mode with no MSHR)")
 
 
 def _add_batch_flag(sub_parser: argparse.ArgumentParser) -> None:

@@ -14,16 +14,34 @@ state machine::
 The MSHR file itself (:class:`MSHRFile`) models the two behaviours real
 hybrid-memory controllers get from their request queues:
 
-* **coalescing** — a second miss to a 64 B subblock that already has a
-  transaction in flight does *not* consult the scheme or touch the
-  devices again; it simply joins the transaction's waiter list and wakes
-  when the one transaction completes.
+* **read coalescing** — a second *read* miss to a 64 B subblock whose
+  fill is already in flight for a *read* does not consult the scheme or
+  touch the devices again; it joins that transaction's waiter list and
+  wakes when the one fill completes.  Coalescing is read-only by
+  design: a store carries a state change the scheme must observe (dirty
+  bits, migration triggers), and chaining an independent miss onto an
+  in-flight *write* serializes it behind traffic the scheme might have
+  served faster had it been consulted — the silc-mshr32 postmortem
+  (docs/architecture.md) measured write coalescing costing SILC-FM its
+  entire speedup, because waiters were welded to slow far-memory fetches
+  that a fresh consult would have resolved as near-memory hits after
+  the first miss's swap-in.
 * **structural stalls** — the file has a configurable number of entries
   (``SystemConfig.mshr_entries``); when all are occupied, new misses
   queue FIFO until an entry frees.  These stalls are counted separately
   (:class:`MSHRStats`) from the cores' full-ROB stalls
   (``CoreStats.stall_events``) so the two bottlenecks are
-  distinguishable in the results.
+  distinguishable in the results.  A read that arrives while a read to
+  the same subblock is *queued* joins the queued miss directly — it
+  burns neither a structural stall nor a fresh entry when the queue
+  drains — and a drained miss keeps its original arrival time as its
+  ``issue_time`` so latency attribution sees the queue wait.
+
+The default ``SystemConfig.mshr_entries`` is sized to the machine's
+aggregate memory-level parallelism (cores × per-core outstanding
+misses): any smaller file is a structural concurrency cap that no
+dispatch policy can tune away, which is exactly what the silc-mshr32
+bench anomaly turned out to be.
 
 ``mshr_entries = 0`` is the *compatibility* value: no MSHR file is built
 at all and cores talk to the controller directly (via
@@ -41,7 +59,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.sim.config import SUBBLOCK_BYTES
 from repro.sim.engine import Engine
@@ -155,6 +173,36 @@ class MSHRStats:
         self.peak_pending = 0
 
 
+class PendingMiss:
+    """A miss waiting in the FIFO for a free MSHR entry.
+
+    Carries its own waiter list so later same-subblock *reads* can join
+    it while it queues (no structural stall, no extra queue slot, no
+    second entry at drain time) and remembers the original arrival time
+    so the admitted transaction's ``issue_time`` — and therefore span
+    latency attribution — includes the queue wait.
+    """
+
+    __slots__ = ("paddr", "is_write", "pc", "waiters", "issue_time",
+                 "span_issue", "joins")
+
+    def __init__(self, paddr: int, is_write: bool, pc: int,
+                 on_done: Callable[[float], None], issue_time: float,
+                 span_issue: Optional[float]) -> None:
+        self.paddr = paddr
+        self.is_write = is_write
+        self.pc = pc
+        self.waiters: List[Callable[[float], None]] = [on_done]
+        self.issue_time = issue_time
+        #: arrival time when the miss was span-sampled, None otherwise
+        #: (the sampling decision happens at arrival so the modulo
+        #: sequence is queue-independent).
+        self.span_issue = span_issue
+        #: join timestamps of reads that coalesced onto this queued
+        #: miss, replayed as span siblings if it was sampled.
+        self.joins: List[float] = []
+
+
 class MSHRFile:
     """A shared LLC-level MSHR file in front of the controller."""
 
@@ -166,14 +214,19 @@ class MSHRFile:
         self.entries = entries
         self._controller = controller
         self._shift = subblock_bytes.bit_length() - 1
-        #: in-flight transactions keyed by subblock line number.
-        self._table: Dict[int, MemoryRequest] = {}
-        #: FIFO of misses that arrived while the file was full; the last
-        #: element is the arrival time when the miss was span-sampled,
-        #: None otherwise (the sampling decision happens at arrival so
-        #: the modulo sequence is queue-independent).
-        self._pending: Deque[Tuple[int, bool, int, Callable,
-                                   Optional[float]]] = deque()
+        #: occupied entries.  A plain counter: reads register in
+        #: ``_reads`` for coalescing, writes hold an entry anonymously
+        #: (nothing may coalesce onto them), so a dict of all in-flight
+        #: transactions would be dead weight.
+        self._occupied = 0
+        #: coalescable in-flight *read* transaction per subblock line.
+        self._reads: Dict[int, MemoryRequest] = {}
+        #: FIFO of misses that arrived while the file was full.
+        self._pending: Deque[PendingMiss] = deque()
+        #: queued *read* per subblock line, for arrival coalescing onto
+        #: pending misses.  Invariant: at most one queued read per line
+        #: (a second read joins the first instead of queueing).
+        self._pending_reads: Dict[int, PendingMiss] = {}
         self._draining = False
         self.stats = MSHRStats()
         #: span recorder (:class:`repro.telemetry.spans.SpanRecorder`)
@@ -184,7 +237,7 @@ class MSHRFile:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self._table)
+        return self._occupied
 
     @property
     def pending(self) -> int:
@@ -197,7 +250,7 @@ class MSHRFile:
         hub.meter("mshr.coalesced", lambda: stats.coalesced)
         hub.meter("mshr.structural_stalls",
                   lambda: stats.structural_stalls)
-        hub.gauge("mshr.occupancy", lambda: float(len(self._table)))
+        hub.gauge("mshr.occupancy", lambda: float(self._occupied))
         hub.gauge("mshr.pending", lambda: float(len(self._pending)))
 
     # ------------------------------------------------------------------
@@ -206,42 +259,70 @@ class MSHRFile:
         """Core-facing entry point (same signature as
         ``FlatMemoryController.handle_miss``)."""
         line = paddr >> self._shift
-        txn = self._table.get(line)
         spans = self.spans
-        if txn is not None:
-            # coalesce: join the in-flight transaction's waiter list.
-            txn.waiters.append(on_done)
-            txn.coalesced += 1
-            self.stats.coalesced += 1
-            if spans is not None:
-                spans.coalesce(txn)
-            return
+        if not is_write:
+            txn = self._reads.get(line)
+            if txn is not None:
+                # read-onto-read coalesce: join the in-flight fill.
+                txn.waiters.append(on_done)
+                txn.coalesced += 1
+                self.stats.coalesced += 1
+                if spans is not None:
+                    spans.coalesce(txn)
+                return
+            pend = self._pending_reads.get(line)
+            if pend is not None:
+                # the line's fill is queued, not yet in flight: join it
+                # there — no structural stall, no second queue slot, no
+                # fresh entry at drain time.
+                pend.waiters.append(on_done)
+                self.stats.coalesced += 1
+                if spans is not None:
+                    pend.joins.append(self._engine.now)
+                return
+        now = self._engine.now
         span_issue = None
         if spans is not None and spans.arrival():
-            span_issue = self._engine.now
-        if len(self._table) >= self.entries:
+            span_issue = now
+        if self._occupied >= self.entries:
             self.stats.structural_stalls += 1
-            self._pending.append((paddr, is_write, pc, on_done, span_issue))
+            pend = PendingMiss(paddr, is_write, pc, on_done, now,
+                               span_issue)
+            self._pending.append(pend)
+            if not is_write:
+                self._pending_reads[line] = pend
             if len(self._pending) > self.stats.peak_pending:
                 self.stats.peak_pending = len(self._pending)
             return
-        self._allocate(line, paddr, is_write, pc, on_done, span_issue)
+        self._allocate(line, paddr, is_write, pc, [on_done], now,
+                       span_issue, None)
 
     def _allocate(self, line: int, paddr: int, is_write: bool, pc: int,
-                  on_done: Callable[[float], None],
-                  span_issue: Optional[float] = None) -> None:
-        txn = MemoryRequest(paddr, is_write, pc, self._engine.now)
+                  waiters: List[Callable[[float], None]],
+                  issue_time: float, span_issue: Optional[float],
+                  joins: Optional[List[float]]) -> None:
+        """Take an entry and dispatch.  ``issue_time`` is the miss's
+        original arrival time — for drained pending misses that predates
+        ``engine.now`` by the queue wait.  ``waiters`` is adopted, not
+        copied."""
+        txn = MemoryRequest(paddr, is_write, pc, issue_time)
         txn.line = line
         txn.mshr = self
-        txn.waiters.append(on_done)
+        txn.waiters = waiters
+        txn.coalesced = len(waiters) - 1
         if span_issue is not None:
             span = self.spans.start(paddr, is_write, span_issue)
             span.admit(self._engine.now)
+            if joins:
+                for join_t in joins:
+                    span.join(join_t)
             txn.span = span
-        self._table[line] = txn
+        self._occupied += 1
+        if not is_write:
+            self._reads[line] = txn
         self.stats.allocations += 1
-        if len(self._table) > self.stats.peak_occupancy:
-            self.stats.peak_occupancy = len(self._table)
+        if self._occupied > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._occupied
         self._controller.handle_request(txn)
 
     # ------------------------------------------------------------------
@@ -249,7 +330,9 @@ class MSHRFile:
         """Called by the controller when ``txn`` completes: free the
         entry, wake every waiter (issue order), then admit queued
         misses into the freed capacity."""
-        del self._table[txn.line]
+        self._occupied -= 1
+        if not txn.is_write and self._reads.get(txn.line) is txn:
+            del self._reads[txn.line]
         for waiter in txn.waiters:
             waiter(when)
         if self._draining:
@@ -258,21 +341,16 @@ class MSHRFile:
             return
         self._draining = True
         try:
-            while self._pending and len(self._table) < self.entries:
-                paddr, is_write, pc, on_done, span_issue = \
-                    self._pending.popleft()
-                line = paddr >> self._shift
-                cur = self._table.get(line)
-                if cur is not None:
-                    cur.waiters.append(on_done)
-                    cur.coalesced += 1
-                    self.stats.coalesced += 1
-                    if self.spans is not None:
-                        # the queued miss coalesced away; its sampled
-                        # arrival becomes a sibling join on the survivor
-                        self.spans.coalesce(cur)
-                else:
-                    self._allocate(line, paddr, is_write, pc, on_done,
-                                   span_issue)
+            while self._pending and self._occupied < self.entries:
+                pend = self._pending.popleft()
+                line = pend.paddr >> self._shift
+                if not pend.is_write:
+                    # a queued read cannot find an in-flight read to its
+                    # line here: any read that could have become one
+                    # joined this queued miss at arrival instead.
+                    self._pending_reads.pop(line, None)
+                self._allocate(line, pend.paddr, pend.is_write, pend.pc,
+                               pend.waiters, pend.issue_time,
+                               pend.span_issue, pend.joins)
         finally:
             self._draining = False

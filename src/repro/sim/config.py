@@ -147,16 +147,21 @@ class SystemConfig:
     #: config it participates in the experiment executor's cache key.
     telemetry_window: int = 0
     #: MSHR (miss-status holding register) file entries in front of the
-    #: flat-memory controller.  0 (default) is the *compatibility*
-    #: value: misses flow straight to the controller exactly as before
-    #: the transaction-pipeline refactor existed, and results are
-    #: bit-identical to pre-MSHR runs.  N > 0 bounds the number of
-    #: distinct in-flight misses: same-subblock misses coalesce onto one
+    #: flat-memory controller.  N > 0 bounds the number of distinct
+    #: in-flight misses: same-subblock *read* misses coalesce onto one
     #: transaction (all waiters wake on its completion) and a full file
     #: is a structural stall — arrivals queue until an entry frees.
-    #: Like the knobs above, the field is part of this config and so
-    #: participates in the experiment executor's cache key.
-    mshr_entries: int = 0
+    #: The default is sized to the machine's aggregate memory-level
+    #: parallelism (``cores`` × ``CoreConfig.max_outstanding_misses`` =
+    #: 16 × 8): the silc-mshr32 postmortem (docs/architecture.md)
+    #: showed any smaller file is a hard concurrency cap that costs far
+    #: more than coalescing recovers.  0 is the *compatibility* value:
+    #: misses flow straight to the controller exactly as before the
+    #: transaction-pipeline refactor existed, and results are
+    #: bit-identical to pre-MSHR runs.  Like the knobs above, the field
+    #: is part of this config and so participates in the experiment
+    #: executor's cache key.
+    mshr_entries: int = 128
     #: Per-request span sampling rate, in new-transaction arrivals.
     #: 0 (default) disables span tracing entirely — no recorder is
     #: built, hot paths pay one ``is None`` check, and executor cache

@@ -106,24 +106,99 @@ def test_full_mshr_queues_fifo_and_counts_structural_stalls():
     assert controller.stats.misses_completed == 2
 
 
-def test_pending_miss_coalesces_on_admission():
-    """A queued miss whose subblock is in flight by the time an entry
-    frees joins that transaction instead of allocating."""
+def test_queued_read_coalesces_without_burning_stall_or_entry():
+    """Satellite-1 regression: a read whose subblock already has a
+    *queued* read joins it in the pending queue — it must not be charged
+    a structural stall, must not take a queue slot, and must not
+    allocate a second entry when the queue drains (the old drain path
+    charged the stall at arrival and only coalesced if the line happened
+    to be in flight at ``popleft`` time)."""
     engine, mshr, __, scheme, __, __ = build(entries=2)
     done = []
     mshr.issue(0, False, 0, done.append)
     mshr.issue(64, False, 0, done.append)
     mshr.issue(128, False, 0, done.append)      # queues (file full)
-    mshr.issue(128 + 8, False, 0, done.append)  # queues, same line as above
-    assert mshr.stats.structural_stalls == 2
+    mshr.issue(128 + 8, False, 0, done.append)  # joins the queued read
+    assert mshr.stats.structural_stalls == 1
+    assert mshr.pending == 1
+    assert mshr.stats.peak_pending == 1
+    assert mshr.stats.coalesced == 1
     engine.run()
-    # the first entry to free admits the line-128 miss; the second frees
-    # while that transaction is still in flight, so its same-line
-    # follower coalesces at admission instead of allocating
+    # one drained admission serves both waiters with one scheme consult
     assert len(done) == 4
     assert scheme.accesses == 3
     assert mshr.stats.allocations == 3
-    assert mshr.stats.coalesced == 1
+    assert done[-1] == done[-2]  # coalesced pair retires together
+
+
+def test_drained_miss_keeps_original_issue_time():
+    """Satellite-1 regression: a miss admitted from the pending queue
+    keeps its arrival time as ``issue_time`` — the queue wait is part of
+    the latency the core experienced, not erased at admission."""
+    engine, mshr, controller, __, __, __ = build(entries=1)
+    admitted = []
+    real_handle = controller.handle_request
+
+    def spy(txn):
+        admitted.append((engine.now, txn.issue_time, txn.paddr))
+        real_handle(txn)
+
+    controller.handle_request = spy
+    mshr.issue(0, False, 0, lambda t: None)
+    mshr.issue(64, False, 0, lambda t: None)  # queues at t=0
+    engine.run()
+    (___, __, _a), (admit_t, issue_t, paddr) = admitted
+    assert paddr == 64
+    assert admit_t > 0.0    # admitted only after the first entry freed
+    assert issue_t == 0.0   # but its issue clock started at arrival
+
+
+# ----------------------------------------------------------------------
+# read-only coalescing (the silc-mshr32 postmortem policy)
+# ----------------------------------------------------------------------
+def test_write_miss_does_not_coalesce_onto_inflight_read():
+    """Postmortem regression: a store to a subblock with an in-flight
+    read fill takes its own entry and its own scheme consult — welding
+    it to the read's fetch would hide the store from the scheme and
+    serialize an independent request."""
+    engine, mshr, controller, scheme, __, __ = build(entries=8)
+    mshr.issue(0, False, 0, lambda t: None)
+    mshr.issue(8, True, 0, lambda t: None)  # same subblock, but a write
+    assert mshr.stats.allocations == 2
+    assert mshr.stats.coalesced == 0
+    assert scheme.accesses == 2
+    engine.run()
+    assert controller.stats.misses_completed == 2
+    assert mshr.occupancy == 0
+
+
+def test_read_miss_does_not_coalesce_onto_inflight_write():
+    """Postmortem regression: nothing coalesces onto a write — a read
+    chained to a write-path transaction inherits whatever slow service
+    the write drew, where a fresh consult may resolve near-memory."""
+    engine, mshr, __, scheme, __, __ = build(entries=8)
+    mshr.issue(0, True, 0, lambda t: None)
+    mshr.issue(8, False, 0, lambda t: None)  # read follows the write
+    assert mshr.stats.allocations == 2
+    assert mshr.stats.coalesced == 0
+    assert scheme.accesses == 2
+    engine.run()
+    assert mshr.occupancy == 0
+
+
+def test_queued_write_is_not_a_coalescing_target():
+    """Read-only coalescing applies in the pending queue too: a read
+    behind a *queued write* to the same subblock queues separately."""
+    engine, mshr, __, scheme, __, __ = build(entries=1)
+    mshr.issue(0, False, 0, lambda t: None)
+    mshr.issue(64, True, 0, lambda t: None)   # queues (file full)
+    mshr.issue(64 + 8, False, 0, lambda t: None)  # may not join the write
+    assert mshr.stats.structural_stalls == 2
+    assert mshr.pending == 2
+    assert mshr.stats.coalesced == 0
+    engine.run()
+    assert mshr.stats.allocations == 3
+    assert scheme.accesses == 3
 
 
 def test_structural_stall_distinct_from_rob_stall():
@@ -136,9 +211,12 @@ def test_structural_stall_distinct_from_rob_stall():
     assert result.extras["mshr_allocations"] > 0
     # ROB stalls live in the core stats, untouched by the MSHR counters
     assert hasattr(result.core_stats[0], "stall_events")
-    # compat run: no MSHR, so no mshr_* keys at all
-    compat = run_one("silc", "mcf", default_config(scale=0.25),
-                     misses_per_core=150, seed=11)
+    # compat run (explicit mshr_entries=0, the escape hatch from the
+    # nonzero default): no MSHR, so no mshr_* keys at all
+    compat = run_one(
+        "silc", "mcf",
+        dataclasses.replace(default_config(scale=0.25), mshr_entries=0),
+        misses_per_core=150, seed=11)
     assert not any(k.startswith("mshr_") for k in compat.extras)
 
 

@@ -46,11 +46,15 @@ def test_payload_has_one_cell_per_pair(quick_payload):
 
 
 def test_mshr_variant_pins_scheme_and_entries(quick_payload):
+    """Schema v5: the headline cells run the default MSHR pipeline and
+    the compat cell pins the pre-MSHR front door at an explicit 0 (an
+    ``if mshr_entries`` guard would silently inherit the default)."""
     variants = {c["key"]: c for c in quick_payload["cells"]}
-    mshr_cell = variants["silc-mshr32"]
-    assert mshr_cell["scheme"] == "silc"
-    assert mshr_cell["mshr_entries"] == 32
-    assert variants["silc"]["mshr_entries"] == 0
+    compat_cell = variants["silc-compat"]
+    assert compat_cell["scheme"] == "silc"
+    assert compat_cell["mshr_entries"] == 0
+    assert variants["silc"]["mshr_entries"] == 128
+    assert variants["nonm"]["mshr_entries"] == 128
 
 
 def test_quick_cells_skip_latency_tails(quick_payload):

@@ -12,7 +12,8 @@ sys.path.insert(0, str(SCRIPTS))
 from check_bench_regression import main  # noqa: E402
 
 
-def _payload(rates, total, tails=None, batched=None, batched_total=None):
+def _payload(rates, total, tails=None, batched=None, batched_total=None,
+             fom=None):
     cells = []
     for (key, wl), rate in rates.items():
         cell = {"key": key, "scheme": key.split("-")[0], "workload": wl,
@@ -25,10 +26,13 @@ def _payload(rates, total, tails=None, batched=None, batched_total=None):
     throughput = {"accesses_per_sec": total}
     if batched_total is not None:
         throughput["batched_accesses_per_sec"] = batched_total
-    return {
+    payload = {
         "cells": cells,
         "throughput": throughput,
     }
+    if fom is not None:
+        payload["figures_of_merit"] = {"speedup_over_nonm": fom}
+    return payload
 
 
 def _write(tmp_path, name, payload):
@@ -211,6 +215,57 @@ def test_batched_improvement_passes(tmp_path):
     cur = _write(tmp_path, "cur.json", _payload(
         BASE, 15000.0, batched={k: v * 2 for k, v in batched.items()},
         batched_total=60000.0))
+    assert main([base, cur]) == 0
+
+
+# ----------------------------------------------------------------------
+# MSHR dominance figure-of-merit gate (schema v5)
+# ----------------------------------------------------------------------
+def test_mshr_dominance_gate_passes_when_default_wins(tmp_path, capsys):
+    """The gate reads the *current* run's figures of merit: silc with the
+    default MSHR must hold a speedup geomean >= compat-mode silc's."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, fom={
+        "silc": {"mcf": 1.70, "geomean": 1.70},
+        "silc-compat": {"mcf": 1.69, "geomean": 1.69},
+    }))
+    assert main([base, cur]) == 0
+    assert "default-MSHR 1.7000 vs compat 1.6900" in capsys.readouterr().out
+
+
+def test_mshr_dominance_gate_fails_when_compat_wins(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, fom={
+        "silc": {"mcf": 1.60, "geomean": 1.60},
+        "silc-compat": {"mcf": 1.69, "geomean": 1.69},
+    }))
+    assert main([base, cur]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "fom:mshr-dominance" in captured.err
+
+
+def test_pre_v5_payload_skips_mshr_dominance_gate(tmp_path, capsys):
+    """Payloads without silc/silc-compat figures (older suites, partial
+    reruns) skip the gate with a note instead of failing."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, fom={
+        "silc": {"mcf": 1.60, "geomean": 1.60}}))
+    assert main([base, cur]) == 0
+    assert "MSHR dominance gate skipped" in capsys.readouterr().out
+
+
+def test_mshr_dominance_ignores_baseline_figures(tmp_path):
+    """Dominance is a property of the current run alone — a baseline
+    where compat won must not mask (or cause) a failure."""
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0, fom={
+        "silc": {"mcf": 1.50, "geomean": 1.50},
+        "silc-compat": {"mcf": 1.80, "geomean": 1.80},
+    }))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0, fom={
+        "silc": {"mcf": 1.70, "geomean": 1.70},
+        "silc-compat": {"mcf": 1.69, "geomean": 1.69},
+    }))
     assert main([base, cur]) == 0
 
 

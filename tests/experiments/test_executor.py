@@ -94,6 +94,10 @@ def test_cell_key_changes_with_any_input(config):
     assert make_cell(config, warmup_fraction=0.0).key() != base.key()
     varied = config.with_silcfm(hot_threshold=3)
     assert make_cell(varied).key() != base.key()
+    # the MSHR default flip must not collide with cached compat cells:
+    # mshr_entries is part of the config digest like every other knob
+    compat = dataclasses.replace(config, mshr_entries=0)
+    assert make_cell(compat).key() != base.key()
 
 
 # ---------------------------------------------------------------------------

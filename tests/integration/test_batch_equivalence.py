@@ -46,7 +46,9 @@ SCALE = 0.25
 BATCH_WINDOW = 64
 
 WORKLOADS = ("mcf", "lbm", "mix-blend")
-MSHR_CONFIGS = (0, 8, 32)
+#: compat mode, two undersized files (queue/drain stressed), and the
+#: MLP-sized shipping default
+MSHR_CONFIGS = (0, 8, 32, 128)
 
 
 def _run_json(scheme: str, workload: str, mshr_entries: int,

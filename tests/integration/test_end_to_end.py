@@ -35,8 +35,15 @@ def test_baseline_runs_to_completion(baseline):
 def test_every_scheme_completes(config, scheme_key):
     result = run_one(scheme_key, "mcf", config, misses_per_core=500)
     assert result.elapsed_cycles > 0
-    # the default 20% warmup is discarded from the statistics
-    assert result.scheme_stats.misses == int(500 * 0.8) * config.cores
+    # the default 20% warmup is discarded from the statistics; the
+    # default MSHR additionally coalesces a few same-subblock reads,
+    # which consult no scheme (the warmup boundary is measured in
+    # consults, so reads coalesced *before* the reset widen the gap by
+    # at most that handful)
+    expected = int(500 * 0.8) * config.cores
+    coalesced = int(result.extras.get("mshr_coalesced", 0.0))
+    assert result.scheme_stats.misses <= expected
+    assert result.scheme_stats.misses + coalesced >= round(expected * 0.995)
 
 
 def test_warmup_discards_cold_start(config):

@@ -1,11 +1,18 @@
 """Byte-identity regression: fixed config+seed runs must reproduce the
 committed golden JSONs exactly.
 
-The goldens were captured at the pre-transaction-pipeline seed, so this
-suite is the proof that the MSHR/transaction refactor's compatibility
-mode (``mshr_entries=0``) and the allocation-lean hot path changed *no*
-simulated behaviour: every counter, timestamp and derived float in
-``RunResult.to_dict()`` is compared byte-for-byte.
+Two pinned modes per scheme since the MSHR pipeline became the default:
+
+* ``{scheme}-mcf.json`` — the default MSHR transaction pipeline
+  (``mshr_entries`` at the config default), regenerated when the
+  default flipped after the silc-mshr32 postmortem;
+* ``{scheme}-mcf-compat.json`` — the compatibility front door
+  (``mshr_entries=0``).  These bytes are the original
+  pre-transaction-pipeline goldens carried forward unchanged, so the
+  suite remains the proof that compat mode and the allocation-lean hot
+  path changed *no* simulated behaviour: every counter, timestamp and
+  derived float in ``RunResult.to_dict()`` is compared byte-for-byte
+  against the seed-era pins.
 
 Regenerate with ``python scripts/gen_golden_results.py`` only when a
 change intends to alter simulated behaviour.
@@ -29,4 +36,16 @@ def test_run_matches_golden(scheme):
         f"{scheme} RunResult JSON drifted from the committed golden; if "
         "the change is intentional, regenerate via "
         "scripts/gen_golden_results.py and explain why in the commit"
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_compat_run_matches_pre_mshr_golden(scheme):
+    """``mshr_entries=0`` must still reproduce the pre-MSHR pins: the
+    compat files' bytes predate the transaction pipeline entirely."""
+    golden = (GOLDEN_DIR / f"{scheme}-{WORKLOAD}-compat.json").read_text()
+    assert golden_json(scheme, mshr_entries=0) == golden, (
+        f"{scheme} compat-mode RunResult drifted from the pre-MSHR "
+        "golden — mshr_entries=0 is the bit-identical escape hatch and "
+        "must never change behaviour"
     )

@@ -40,7 +40,11 @@ def test_oracle_checked_run_is_clean(config, scheme_key):
     checked = dataclasses.replace(config, check_interval=500)
     result = run_one(scheme_key, "milc", checked, misses_per_core=400,
                      warmup_fraction=0.0)
-    assert result.extras["oracle_accesses_checked"] == 400 * config.cores
+    # the default MSHR coalesces same-subblock reads, which never reach
+    # the scheme (and so are invisible to the oracle) by design
+    coalesced = int(result.extras.get("mshr_coalesced", 0.0))
+    assert (result.extras["oracle_accesses_checked"] + coalesced
+            == 400 * config.cores)
     assert result.extras["oracle_full_scans"] >= 1
 
 
@@ -52,8 +56,13 @@ def test_conservation_of_misses(config, scheme_key):
     issued = sum(c.misses_issued for c in result.core_stats)
     retired = sum(c.misses_retired for c in result.core_stats)
     assert issued == retired == 500 * config.cores
-    assert result.scheme_stats.misses == issued
-    assert result.controller_stats.misses_completed == issued
+    # under the default MSHR a coalesced read retires through the
+    # surviving transaction's waiter list: it consults no scheme and
+    # completes no controller transaction of its own, so the exact
+    # conservation law carries the coalesced count on one side
+    coalesced = int(result.extras.get("mshr_coalesced", 0.0))
+    assert result.scheme_stats.misses + coalesced == issued
+    assert result.controller_stats.misses_completed + coalesced == issued
 
 
 def test_nm_plus_fm_service_counts_add_up(config):

@@ -41,3 +41,46 @@ def test_oracle_passes_across_mshr_sweep(entries):
                      misses_per_core=200, seed=5)
     assert result.extras["oracle_accesses_checked"] > 0
     assert result.extras["mshr_peak_occupancy"] <= entries
+
+
+# ----------------------------------------------------------------------
+# the silc-mshr32 anomaly knee (postmortem in docs/architecture.md)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["silc", "nonm"])
+def test_mshr_sweep_speedup_is_monotone(scheme):
+    """Postmortem regression: elapsed time falls monotonically as the
+    MSHR file grows through the knee.  The silc-mshr32 anomaly was a
+    structural concurrency cap — any file smaller than the aggregate
+    MLP (cores × per-core outstanding misses) serializes independent
+    misses behind ``structural_stalls``, and no dispatch or coalescing
+    policy can tune that away.  A non-monotonic point here means a
+    timing bug crept back into the admission/drain path."""
+    elapsed = []
+    for entries in (1, 2, 4, 8, 16, 32):
+        result = run_one(scheme, "mcf", _checked_config(entries),
+                         misses_per_core=200, seed=5)
+        assert result.extras["oracle_accesses_checked"] > 0
+        elapsed.append((entries, result.elapsed_cycles))
+    for (e_small, t_small), (e_big, t_big) in zip(elapsed, elapsed[1:]):
+        assert t_big < t_small, (
+            f"{scheme}: elapsed rose from {t_small} at {e_small} "
+            f"entries to {t_big} at {e_big} — the MSHR sweep must be "
+            "monotone (see the silc-mshr32 postmortem)")
+
+
+@pytest.mark.parametrize("scheme", ["silc", "nonm"])
+def test_default_mshr_dominates_compat(scheme):
+    """The flip gate: the default (nonzero) MSHR file must be at least
+    as fast as the compat front door it replaced — sized to the
+    aggregate MLP and coalescing reads only, the pipeline is a pure
+    win, not a modeling tax."""
+    default = run_one(scheme, "mcf",
+                      _checked_config(default_config().mshr_entries),
+                      misses_per_core=200, seed=5)
+    compat = run_one(scheme, "mcf", _checked_config(0),
+                     misses_per_core=200, seed=5)
+    assert default.extras["oracle_accesses_checked"] > 0
+    assert "mshr_allocations" not in compat.extras  # truly MSHR-free
+    assert default.elapsed_cycles <= compat.elapsed_cycles, (
+        f"{scheme}: default MSHR mode ({default.elapsed_cycles}) lost "
+        f"to compat mode ({compat.elapsed_cycles})")
