@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Load generator for the sweep service: many tenants, heavy overlap.
+
+Replays ``--tenants`` concurrent clients (default 120), each submitting
+a small sweep drawn from one shared cell pool, so well over half of all
+submitted cells collide with another tenant's.  That drives every path
+the service has: cold simulations, single-flight dedup fan-out, and
+memo/disk cache hits — all at once, over real TCP connections.
+
+On completion the script *asserts* the service's correctness
+invariants and exits non-zero if any fails:
+
+* **exactly-once**: no cache key executed on the worker pool more than
+  once (``max_executions_per_key <= 1``), and the number of distinct
+  executions equals the number of distinct keys submitted;
+* **conservation**: every completed cell has exactly one source
+  (``completed == cache + simulated + dedup``);
+* **fan-out**: every tenant received a result for every submitted cell;
+* **byte-identical**: a sampled tenant result equals a direct in-process
+  ``run_one`` of the same cell, canonical-JSON for canonical-JSON.
+
+Then it prints the throughput figures (cells/sec end to end, dedup hit
+rate, cache-hit latency percentiles).
+
+By default the script starts a private in-process service on an
+ephemeral port with a temporary cache directory, so it is self-contained
+(CI runs it as a smoke test).  Point it at an already-running service
+with ``--host``/``--port`` instead.
+
+Usage::
+
+    PYTHONPATH=src python scripts/loadgen.py
+    PYTHONPATH=src python scripts/loadgen.py --tenants 200 --pool 32
+    PYTHONPATH=src python scripts/loadgen.py --host 127.0.0.1 --port 7316
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import random
+import sys
+import tempfile
+import time
+
+from repro.experiments.executor import Cell
+from repro.experiments.runner import run_one
+from repro.service import SweepClient, SweepService
+from repro.sim.config import default_config
+
+POOL_SCHEMES = ["nonm", "cam", "pom", "silc", "hma", "alloy"]
+POOL_WORKLOADS = ["mcf", "milc", "lbm", "libquantum", "soplex",
+                  "gemsFDTD", "omnetpp", "xalancbmk"]
+
+
+def build_pool(size: int, misses: int) -> list:
+    """``size`` distinct cells: tiny config, varied (scheme, workload)."""
+    config = dataclasses.replace(default_config(scale=0.25), cores=2)
+    pool = []
+    for scheme in POOL_SCHEMES:
+        for workload in POOL_WORKLOADS:
+            if len(pool) == size:
+                return pool
+            pool.append(Cell(scheme, workload, config,
+                             misses_per_core=misses))
+    # need more variety than (scheme x workload): vary the seed
+    seed = 1
+    while len(pool) < size:
+        for scheme in POOL_SCHEMES:
+            if len(pool) == size:
+                break
+            for workload in POOL_WORKLOADS:
+                if len(pool) == size:
+                    break
+                pool.append(Cell(scheme, workload, config,
+                                 misses_per_core=misses, seed=seed))
+        seed += 1
+    return pool
+
+
+def plan_sweeps(pool: list, tenants: int, cells_per_tenant: int,
+                seed: int) -> list:
+    """Deterministic per-tenant cell picks from the shared pool."""
+    rng = random.Random(seed)
+    return [
+        [pool[rng.randrange(len(pool))] for _ in range(cells_per_tenant)]
+        for _ in range(tenants)
+    ]
+
+
+async def drive(host: str, port: int, sweeps: list) -> list:
+    """One connection + one streamed sweep per tenant, all concurrent."""
+
+    async def one(tenant_id: int, cells: list):
+        async with SweepClient(host, port) as client:
+            return await client.run(cells, tenant=f"tenant-{tenant_id}")
+
+    return await asyncio.gather(
+        *[one(i, cells) for i, cells in enumerate(sweeps)])
+
+
+async def fetch_stats(host: str, port: int) -> dict:
+    async with SweepClient(host, port) as client:
+        return await client.stats()
+
+
+def check(condition: bool, label: str) -> bool:
+    print(f"  [{'ok' if condition else 'FAIL'}] {label}")
+    return condition
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrency/dedup load test for 'repro serve'")
+    parser.add_argument("--tenants", type=int, default=120,
+                        help="concurrent clients (default 120)")
+    parser.add_argument("--cells-per-tenant", type=int, default=4)
+    parser.add_argument("--pool", type=int, default=24,
+                        help="distinct cells shared by all tenants"
+                             " (default 24)")
+    parser.add_argument("--misses", type=int, default=150,
+                        help="LLC misses per core per cell (default 150)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="tenant-plan RNG seed")
+    parser.add_argument("--host", default=None,
+                        help="target an external service instead of an"
+                             " in-process one")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the in-process service")
+    args = parser.parse_args(argv)
+
+    external = args.host is not None
+    if external and args.port is None:
+        parser.error("--host needs --port")
+
+    pool = build_pool(args.pool, args.misses)
+    sweeps = plan_sweeps(pool, args.tenants, args.cells_per_tenant,
+                         args.seed)
+    submitted = sum(len(cells) for cells in sweeps)
+    unique_keys = {cell.key() for cells in sweeps for cell in cells}
+    overlap = 1.0 - len(unique_keys) / submitted
+    print(f"plan: {args.tenants} tenants x {args.cells_per_tenant} cells "
+          f"= {submitted} requests over {len(unique_keys)} unique cells "
+          f"({overlap:.0%} overlap)")
+
+    async def go():
+        if external:
+            start = time.monotonic()
+            outcomes = await drive(args.host, args.port, sweeps)
+            wall = time.monotonic() - start
+            stats = await fetch_stats(args.host, args.port)
+            return outcomes, stats, wall
+        with tempfile.TemporaryDirectory(prefix="loadgen-cache-") as tmp:
+            async with SweepService(jobs=args.jobs, cache_dir=tmp,
+                                    telemetry_interval=0) as service:
+                start = time.monotonic()
+                outcomes = await drive("127.0.0.1", service.port, sweeps)
+                wall = time.monotonic() - start
+                stats = await fetch_stats("127.0.0.1", service.port)
+                return outcomes, stats, wall
+
+    outcomes, stats, wall = asyncio.run(go())
+
+    # ---- invariants ---------------------------------------------------
+    print("invariants:")
+    by_source = stats["cells"]["by_source"]
+    fanned_out = all(
+        outcome.ok and len(outcome.results) == len(sweeps[i])
+        for i, outcome in enumerate(outcomes))
+    sample_tenant = max(range(len(outcomes)),
+                        key=lambda i: len(outcomes[i].results))
+    sample_index = next(iter(sorted(outcomes[sample_tenant].results)))
+    sample_cell = sweeps[sample_tenant][sample_index]
+    direct = run_one(sample_cell.scheme_key, sample_cell.workload_name,
+                     sample_cell.config,
+                     misses_per_core=sample_cell.misses_per_core,
+                     seed=sample_cell.seed)
+    ok = True
+    ok &= check(stats["max_executions_per_key"] <= 1,
+                "exactly-once: no key executed twice "
+                f"(max={stats['max_executions_per_key']})")
+    if not external:  # a fresh cache means every unique key simulates
+        ok &= check(stats["unique_simulated"] == len(unique_keys),
+                    f"exactly-once: {stats['unique_simulated']} executions"
+                    f" for {len(unique_keys)} unique cells")
+    ok &= check(stats["cells"]["completed"] == sum(by_source.values()),
+                "conservation: completed == cache + simulated + dedup "
+                f"({stats['cells']['completed']} == {by_source})")
+    ok &= check(fanned_out,
+                f"fan-out: all {len(outcomes)} tenants got full results")
+    ok &= check(
+        json.dumps(outcomes[sample_tenant].results[sample_index],
+                   sort_keys=True)
+        == json.dumps(direct.to_dict(), sort_keys=True),
+        f"byte-identical: tenant-{sample_tenant} cell {sample_index} "
+        "matches a solo run_one")
+
+    # ---- throughput ---------------------------------------------------
+    latency = stats["cache_hit_latency"]
+    print(f"throughput: {submitted} cells in {wall:.2f}s = "
+          f"{submitted / wall:,.1f} cells/sec end to end")
+    print(f"dedup: {by_source['dedup']} deduped, {by_source['cache']} "
+          f"cache, {by_source['simulated']} simulated "
+          f"(dedup hit rate {stats['dedup_hit_rate']:.1%})")
+    if latency["count"]:
+        print(f"cache-hit latency: p50 {latency['p50_ms']:.2f} ms, "
+              f"p95 {latency['p95_ms']:.2f} ms over {latency['count']}"
+              " samples")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Commands
 ``report``   regenerate EXPERIMENTS.md (the full evaluation grid)
 ``bench``    timed perf-regression suite -> ``BENCH_<date>.json``
 ``analyze``  latency-attribution report from a telemetry artifact
+``serve``    long-running multi-tenant sweep service (asyncio, TCP)
+``submit``   submit a compare-style sweep to a running service
 
 ``compare``, ``figure`` and ``report`` fan their (scheme x workload)
 cells out over ``--jobs N`` worker processes and memoise each cell in an
@@ -43,6 +45,12 @@ Examples::
     python -m repro trace lbm /tmp/lbm.trc --misses 20000
     python -m repro trace mcf /tmp/mcf.json --scheme silc   # Perfetto
     python -m repro bench --quick
+    python -m repro serve --jobs 8 &
+    python -m repro submit mcf --schemes cam pom silc --tenant alice
+
+``serve`` keeps one shared result cache and single-flight dedup table
+across every client: identical cells submitted by different tenants
+simulate once and fan out to all of them (docs/service.md).
 """
 
 from __future__ import annotations
@@ -228,6 +236,39 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument(
         "--top", type=int, default=5, metavar="N",
         help="coalescing chains to list (default 5)")
+
+    from repro.service import DEFAULT_PORT
+
+    serve_p = sub.add_parser(
+        "serve", help="run the multi-tenant sweep service until a client"
+                      " sends shutdown (or Ctrl-C)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"listen port (default {DEFAULT_PORT}; "
+                              "0 = ephemeral)")
+    serve_p.add_argument(
+        "--telemetry-interval", type=float, default=1.0, metavar="SECONDS",
+        help="windowed telemetry emission interval (default 1.0; "
+             "0 disables)")
+    _add_executor_flags(serve_p)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a compare-style sweep to a running service"
+                       " and stream the results")
+    submit_p.add_argument("benchmark", choices=BENCHMARKS)
+    submit_p.add_argument("--schemes", nargs="+",
+                          default=["cam", "pom", "silc"],
+                          choices=sorted(SCHEMES))
+    submit_p.add_argument("--misses", type=int, default=5000)
+    submit_p.add_argument("--seed", type=int, default=None)
+    submit_p.add_argument("--scale", type=float, default=None)
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    submit_p.add_argument("--tenant", default=None,
+                          help="label for this client in service stats")
+    _add_check_flags(submit_p)
+    _add_mshr_flag(submit_p)
+    _add_batch_flag(submit_p)
     return parser
 
 
@@ -509,6 +550,82 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import SweepService
+
+    service = SweepService(
+        host=args.host, port=args.port,
+        jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+        telemetry_interval=args.telemetry_interval,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving on {service.host}:{service.port} "
+              f"({service.jobs} workers, cache="
+              f"{'off' if service.core.cache is None else service.core.cache.root})",
+              flush=True)
+        await service.run_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.cpu.system import RunResult
+    from repro.service import ServiceError, run_sweep
+
+    config = _config(args.scale, args)
+    scheme_keys = ["nonm"] + [k for k in args.schemes if k != "nonm"]
+    cells = [Cell(key, args.benchmark, config, misses_per_core=args.misses,
+                  seed=args.seed) for key in scheme_keys]
+
+    def _on_event(event) -> None:
+        if event.get("type") == "cell":
+            print(f"  cell {event['index']} ({scheme_keys[event['index']]})"
+                  f" <- {event['source']} in {event['latency_ms']:.1f} ms",
+                  file=sys.stderr, flush=True)
+
+    try:
+        outcome = run_sweep(args.host, args.port, cells,
+                            tenant=args.tenant, on_event=_on_event)
+    except (ConnectionError, OSError) as exc:
+        print(f"submit: cannot reach the service at "
+              f"{args.host}:{args.port} ({exc}); start one with"
+              f" 'python -m repro serve'", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+
+    for index, error in sorted(outcome.errors.items()):
+        print(f"\nFAILED cell ({scheme_keys[index]}, {args.benchmark}):\n"
+              f"{error}", file=sys.stderr)
+    if not outcome.ok:
+        print(f"submit: job {outcome.job_id} {outcome.status} "
+              f"({len(outcome.errors)} failed cells)", file=sys.stderr)
+        return 1
+
+    results = {scheme_keys[i]: RunResult.from_dict(r)
+               for i, r in outcome.results.items()}
+    baseline = results["nonm"]
+    speedups = {
+        SCHEMES[key].label: results[key].speedup_over(baseline)
+        for key in args.schemes
+    }
+    print(bar_chart(speedups, title=f"Speedup over no-NM baseline "
+                                    f"({args.benchmark}) [{outcome.job_id}]",
+                    unit="x"))
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.telemetry.analyze import AnalyzeError, analyze
 
@@ -532,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "bench": _cmd_bench,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command]
     return handler(args)
 

@@ -33,6 +33,12 @@ to report a speedup for an engine that changed behaviour — and the cell
 carries ``batched_wall_seconds``/``batched_accesses_per_sec``/
 ``batch_speedup`` so the regression gate can hold both engines to their
 baselines.
+
+Since schema v6 the payload also carries a ``service`` section: the
+multi-tenant sweep service (``python -m repro serve``) driven through a
+pinned concurrent load by :func:`repro.service.bench.run_service_bench`
+— cold sharded throughput, hot cache-hit latency, dedup hit rate, and
+the exactly-once execution witness the gate hard-fails on.
 """
 
 from __future__ import annotations
@@ -64,7 +70,13 @@ from repro.stats.collectors import geometric_mean
 #: cell is gone, and a ``silc-compat`` cell (``mshr_entries=0``) keeps
 #: the pre-MSHR front door measured so the figures-of-merit gate can
 #: assert the default mode dominates it.
-BENCH_SCHEMA_VERSION = 5
+#: v6: the payload gained a ``service`` section
+#: (:func:`repro.service.bench.run_service_bench`): the sweep service
+#: under a pinned multi-tenant load — cold sharded throughput
+#: (cells/sec), hot cache-hit throughput and service latency
+#: (p50/p95 ms), dedup hit rate, and the exactly-once/conservation
+#: correctness witnesses the gate hard-fails on.
+BENCH_SCHEMA_VERSION = 6
 
 #: pinned seed — throughput comparisons need identical event streams.
 BENCH_SEED = 1234
@@ -239,6 +251,13 @@ def run_bench(quick: bool = False,
         per_wl["geomean"] = round(geometric_mean(list(per_wl.values())), 4)
         speedups[key] = per_wl
 
+    # v6: the sweep service under a pinned concurrent multi-tenant load
+    # (its own tiny cell pool — the simulator cells above stay the
+    # wall-clock-comparable definition they have always been).
+    from repro.service.bench import run_service_bench
+
+    service = run_service_bench(quick=quick)
+
     total_wall = sum(c.wall_seconds for c in cells)
     total_batched_wall = sum(c.batched_wall_seconds for c in cells)
     total_accesses = sum(c.accesses for c in cells)
@@ -268,6 +287,7 @@ def run_bench(quick: bool = False,
                               if total_batched_wall else 0.0),
         },
         "figures_of_merit": {"speedup_over_nonm": speedups},
+        "service": service,
     }
 
 

@@ -28,6 +28,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -35,7 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cpu.system import RunResult
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, config_from_dict
 
 #: bump when the cell-hash inputs or the RunResult schema change, so a
 #: stale cache from an older code version is never replayed.
@@ -85,6 +86,36 @@ class Cell:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    # ------------------------------------------------------------------
+    # wire round-trip (the sweep service ships cells as JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """A JSON-serialisable dict that :meth:`from_dict` inverts
+        exactly: the rebuilt cell hashes to the same :meth:`key`, so a
+        cell submitted over the service's wire protocol hits the same
+        cache entry as the local CLI run it duplicates."""
+        return {
+            "scheme_key": self.scheme_key,
+            "workload_name": self.workload_name,
+            "config": dataclasses.asdict(self.config),
+            "misses_per_core": self.misses_per_core,
+            "seed": self.seed,
+            "mode": self.mode,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Cell":
+        return cls(
+            scheme_key=data["scheme_key"],
+            workload_name=data["workload_name"],
+            config=config_from_dict(data["config"]),
+            misses_per_core=data["misses_per_core"],
+            seed=data["seed"],
+            mode=data["mode"],
+            warmup_fraction=data["warmup_fraction"],
+        )
+
 
 @dataclass
 class CellFailure:
@@ -109,28 +140,52 @@ class Progress:
 
     @property
     def elapsed_seconds(self) -> float:
-        return max(1e-9, time.monotonic() - self.started_at)
+        return max(0.0, time.monotonic() - self.started_at)
 
     @property
     def cells_per_second(self) -> float:
-        return self.completed / self.elapsed_seconds
+        # 0.0, not a division by (almost) zero: the first completion can
+        # land within the clock's resolution of started_at, and the old
+        # 1e-9 elapsed floor turned that into a billions-of-cells/s rate
+        elapsed = self.elapsed_seconds
+        if self.completed == 0 or elapsed <= 0.0:
+            return 0.0
+        return self.completed / elapsed
 
     def render(self) -> str:
-        parts = [f"{self.completed}/{self.total} cells",
-                 f"{self.cells_per_second:.2f} cells/s"]
+        parts = [f"{self.completed}/{self.total} cells"]
+        if self.total:
+            parts.append(f"{self.cells_per_second:.2f} cells/s")
         if self.cache_hits:
             parts.append(f"{self.cache_hits} cached")
         if self.failed:
             parts.append(f"{self.failed} FAILED")
         return ", ".join(parts)
 
+    def as_dict(self) -> Dict:
+        """JSON-serialisable snapshot (the sweep service's status and
+        completion events carry these)."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "failed": self.failed,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "cells_per_second": round(self.cells_per_second, 3),
+        }
+
 
 class ResultCache:
     """On-disk JSON store: one ``<cell-hash>.json`` file per result.
 
-    Files are written atomically (tmp + rename) so a crash mid-write
-    never leaves a half-result that poisons the next resume; unreadable
-    or schema-mismatched files are treated as misses.
+    Files are written atomically (a *uniquely named* temp file in the
+    cache directory, then ``os.replace``) so neither a crash mid-write
+    nor several processes storing the **same key concurrently** — the
+    sweep service's cross-tenant dedup makes that an everyday event —
+    can leave a torn or half-written entry: every reader sees either no
+    file or one writer's complete bytes.  Unreadable or
+    schema-mismatched files are treated as misses.
 
     Telemetry-enabled results additionally get **side artifacts** —
     ``telemetry/<cell-hash>.series.json`` (the windowed time series) and
@@ -177,10 +232,22 @@ class ResultCache:
                 "warmup_fraction": cell.warmup_fraction,
             }
         path = self.path(key)
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w") as fh:
-            json.dump(data, fh, sort_keys=True)
-        os.replace(tmp, path)
+        # the temp name must be unique per writer: a shared
+        # ``<key>.json.tmp`` would let two processes racing on one key
+        # interleave writes into the same file and publish the torn
+        # result with os.replace
+        fd, tmp = tempfile.mkstemp(prefix=f".{key}.", suffix=".tmp",
+                                   dir=self.root)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(data, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
         if result.telemetry is not None:
             from repro.telemetry import run_metadata, write_artifacts
 
@@ -238,15 +305,74 @@ def _execute_cell(cell: Cell) -> RunResult:
                    mode=cell.mode, warmup_fraction=cell.warmup_fraction)
 
 
-def _worker(payload: Tuple[int, Cell]) -> Tuple[int, Optional[Dict], Optional[str]]:
-    """Pool entry point.  Ships the result back as its JSON dict so the
-    parallel path deserialises through exactly the same code as a cache
-    hit — one canonical representation, bit-identical everywhere."""
-    index, cell = payload
+def execute_cell_payload(cell: Cell) -> Tuple[Optional[Dict], Optional[str]]:
+    """Simulate one cell, returning ``(result_dict, None)`` on success
+    or ``(None, traceback)`` on failure.
+
+    The single worker entry point shared by every dispatch path — the
+    sync executor's multiprocessing pool and the sweep service's process
+    pool — so a cell produces byte-identical JSON no matter which
+    front end submitted it.  Shipping the result as its JSON dict means
+    the caller deserialises through exactly the same code as a cache
+    hit: one canonical representation everywhere.
+    """
     try:
-        return index, _execute_cell(cell).to_dict(), None
+        return _execute_cell(cell).to_dict(), None
     except Exception:
-        return index, None, traceback.format_exc()
+        return None, traceback.format_exc()
+
+
+def _worker(payload: Tuple[int, Cell]) -> Tuple[int, Optional[Dict], Optional[str]]:
+    """Pool entry point for the sync executor (index-tagged)."""
+    index, cell = payload
+    result_dict, error = execute_cell_payload(cell)
+    return index, result_dict, error
+
+
+class ExecutorCore:
+    """The executor's cache heart, shared by both front ends.
+
+    Holds everything *stateful but dispatch-agnostic* about running
+    cells: the on-disk :class:`ResultCache`, the in-memory memo, and
+    the force semantics.  :class:`ExperimentExecutor` (the one-shot CLI
+    path) layers blocking pool fan-out on top; the asyncio sweep
+    service (:mod:`repro.service`) layers a long-running worker pool,
+    single-flight dedup and event streaming on top of the *same* core,
+    so both populate and consume one cache, one format, one key scheme.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
+                 force: bool = False) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.force = force
+        self._memo: Dict[str, RunResult] = {}
+
+    def peek(self, key: str) -> Optional[RunResult]:
+        """In-memory memo only — no disk I/O, safe to call from an
+        event loop (the sweep service's synchronous fast path)."""
+        return self._memo.get(key)
+
+    def lookup(self, key: str) -> Optional[RunResult]:
+        """Memoised result for ``key``, or None.  The in-memory memo is
+        always valid: force only invalidates *pre-existing* on-disk
+        entries, not work this core already did."""
+        if key in self._memo:
+            return self._memo[key]
+        if self.force:
+            return None
+        if self.cache is not None:
+            result = self.cache.load(key)
+            if result is not None:
+                self._memo[key] = result
+            return result
+        return None
+
+    def remember(self, key: str, result: RunResult, cell: Cell) -> None:
+        """Record a freshly simulated result in memo and (if configured)
+        the on-disk store."""
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.store(key, result, cell)
 
 
 class ExperimentExecutor:
@@ -275,12 +401,18 @@ class ExperimentExecutor:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
-        self.force = force
+        self.core = ExecutorCore(cache_dir=cache_dir, force=force)
         self.on_progress = on_progress
         self.failures: List[CellFailure] = []
         self.last_progress: Optional[Progress] = None
-        self._memo: Dict[str, RunResult] = {}
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.core.cache
+
+    @property
+    def force(self) -> bool:
+        return self.core.force
 
     # ------------------------------------------------------------------
     def run_cells(self, cells: Iterable[Cell]) -> Dict[Cell, RunResult]:
@@ -358,23 +490,10 @@ class ExperimentExecutor:
                 yield outcome
 
     def _lookup(self, key: str) -> Optional[RunResult]:
-        # the in-memory memo is always valid: force only invalidates
-        # *pre-existing* on-disk entries, not work this executor just did
-        if key in self._memo:
-            return self._memo[key]
-        if self.force:
-            return None
-        if self.cache is not None:
-            result = self.cache.load(key)
-            if result is not None:
-                self._memo[key] = result
-            return result
-        return None
+        return self.core.lookup(key)
 
     def _remember(self, key: str, result: RunResult, cell: Cell) -> None:
-        self._memo[key] = result
-        if self.cache is not None:
-            self.cache.store(key, result, cell)
+        self.core.remember(key, result, cell)
 
     def _tick(self, progress: Progress) -> None:
         if self.on_progress is not None:

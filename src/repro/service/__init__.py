@@ -1,0 +1,56 @@
+"""Sharded sweep service: the experiment executor as a multi-tenant backend.
+
+The one-shot CLI path (:class:`repro.experiments.ExperimentExecutor`)
+and this package share one :class:`repro.experiments.ExecutorCore` —
+one content-hash key scheme, one on-disk :class:`ResultCache`, one
+canonical ``RunResult`` JSON representation.  On top of that core the
+service adds what a long-running, many-client backend needs:
+
+* a **job manager** (:mod:`repro.service.jobs`): submit / status /
+  cancel, with per-job progress derived from the executor's
+  :class:`~repro.experiments.executor.Progress` machinery,
+* **single-flight dedup**: identical cells requested by different
+  tenants while one is in flight execute **exactly once**, and the
+  result fans out to every waiter,
+* an **event stream**: newline-delimited JSON over asyncio streams
+  carrying per-cell completion events and windowed telemetry snapshots
+  (:mod:`repro.service.protocol` documents the wire format), and
+* a **worker-process pool** sharding simulated cells across CPUs, with
+  per-cell failure isolation — a poisoned cell fails only itself, is
+  reported on its job's stream, and never touches other tenants.
+
+See ``docs/service.md`` for the architecture and ``scripts/loadgen.py``
+for a load generator replaying hundreds of concurrent sweeps.
+"""
+
+from repro.service.client import (
+    ServiceError,
+    SweepClient,
+    SweepOutcome,
+    run_sweep,
+    wait_for_service,
+)
+from repro.service.jobs import Job, JobManager
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.service.service import ServiceStats, SweepService
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Job",
+    "JobManager",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceStats",
+    "SweepClient",
+    "SweepOutcome",
+    "SweepService",
+    "run_sweep",
+    "wait_for_service",
+]

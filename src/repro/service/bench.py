@@ -1,0 +1,161 @@
+"""Service bench: the sweep service under deterministic multi-tenant load.
+
+``run_service_bench`` drives an in-process :class:`SweepService` (real
+TCP, real worker pool, temporary cache directory) through two phases
+and reports the numbers the BENCH regression gate tracks:
+
+* **cold** — every tenant at once against an empty cache.  Most cells
+  collide across tenants, so the phase measures end-to-end sharded
+  throughput *and* single-flight dedup under contention.
+* **hot** — the same tenants resubmit the same sweeps.  Every cell is
+  served from the service's memo, so the phase measures cache-hit
+  service latency (p50/p95 across the event stream) and hot-path
+  throughput.
+
+The tenant plan is pinned (seeded RNG, fixed pool of cells, fixed
+schemes/workloads/miss counts) so runs are comparable across checkouts,
+exactly like the simulator bench cells.  The payload also carries the
+service's correctness witnesses — ``exactly_once`` (no cache key
+executed on the pool more than once, and exactly one execution per
+unique submitted key) and the completed-cells conservation law — so a
+dedup regression fails the bench even if throughput looks healthy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import Cell
+from repro.service.client import SweepClient
+from repro.service.service import SweepService
+from repro.sim.config import default_config
+
+#: pinned seed for the tenant plan — same sweeps every run.
+SERVICE_BENCH_SEED = 1234
+
+#: (scheme, workload) spread for the shared cell pool.
+POOL_SCHEMES = ["nonm", "cam", "pom", "silc", "hma", "alloy"]
+POOL_WORKLOADS = ["mcf", "milc", "lbm", "libquantum"]
+
+#: full suite: heavy contention, CI-scale cost is a few minutes.
+FULL_TENANTS = 120
+FULL_CELLS_PER_TENANT = 4
+FULL_POOL = 24
+FULL_MISSES = 300
+
+#: quick suite (CI-sized): same shape, smaller everything.
+QUICK_TENANTS = 24
+QUICK_CELLS_PER_TENANT = 3
+QUICK_POOL = 8
+QUICK_MISSES = 120
+
+
+def _build_pool(size: int, misses: int) -> List[Cell]:
+    config = dataclasses.replace(default_config(scale=0.25), cores=2)
+    pool: List[Cell] = []
+    seed: Optional[int] = None
+    while len(pool) < size:
+        for scheme in POOL_SCHEMES:
+            for workload in POOL_WORKLOADS:
+                if len(pool) == size:
+                    return pool
+                pool.append(Cell(scheme, workload, config,
+                                 misses_per_core=misses, seed=seed))
+        seed = (seed or 0) + 1  # past the grid: vary the trace seed
+    return pool
+
+
+def _plan(pool: List[Cell], tenants: int,
+          cells_per_tenant: int) -> List[List[Cell]]:
+    rng = random.Random(SERVICE_BENCH_SEED)
+    return [
+        [pool[rng.randrange(len(pool))] for _ in range(cells_per_tenant)]
+        for _ in range(tenants)
+    ]
+
+
+async def _drive(port: int, sweeps: List[List[Cell]]) -> List:
+    async def one(tenant_id: int, cells: List[Cell]):
+        async with SweepClient("127.0.0.1", port) as client:
+            return await client.run(cells, tenant=f"bench-{tenant_id}")
+
+    return await asyncio.gather(
+        *[one(i, cells) for i, cells in enumerate(sweeps)])
+
+
+def run_service_bench(quick: bool = False,
+                      jobs: Optional[int] = None) -> Dict:
+    """Run both phases; returns the ``service`` BENCH section."""
+    tenants = QUICK_TENANTS if quick else FULL_TENANTS
+    per_tenant = (QUICK_CELLS_PER_TENANT if quick
+                  else FULL_CELLS_PER_TENANT)
+    pool_size = QUICK_POOL if quick else FULL_POOL
+    misses = QUICK_MISSES if quick else FULL_MISSES
+
+    pool = _build_pool(pool_size, misses)
+    sweeps = _plan(pool, tenants, per_tenant)
+    submitted = sum(len(cells) for cells in sweeps)
+    unique_keys = {cell.key() for cells in sweeps for cell in cells}
+
+    async def go():
+        with tempfile.TemporaryDirectory(
+                prefix="service-bench-cache-") as tmp:
+            async with SweepService(jobs=jobs, cache_dir=tmp,
+                                    telemetry_interval=0) as service:
+                start = time.perf_counter()
+                cold = await _drive(service.port, sweeps)
+                cold_wall = time.perf_counter() - start
+                start = time.perf_counter()
+                hot = await _drive(service.port, sweeps)
+                hot_wall = time.perf_counter() - start
+                async with SweepClient("127.0.0.1",
+                                       service.port) as client:
+                    stats = await client.stats()
+                return cold, cold_wall, hot, hot_wall, stats
+
+    cold, cold_wall, hot, hot_wall, stats = asyncio.run(go())
+
+    by_source = stats["cells"]["by_source"]
+    fanned_out = all(outcome.ok and len(outcome.results) == len(sweep)
+                     for phase in (cold, hot)
+                     for outcome, sweep in zip(phase, sweeps))
+    exactly_once = (stats["max_executions_per_key"] <= 1
+                    and stats["unique_simulated"] == len(unique_keys))
+    conserved = (stats["cells"]["completed"] == sum(by_source.values())
+                 == 2 * submitted)
+    latency = stats["cache_hit_latency"]
+    return {
+        "seed": SERVICE_BENCH_SEED,
+        "tenants": tenants,
+        "cells_per_tenant": per_tenant,
+        "unique_cells": len(unique_keys),
+        "total_cell_requests": 2 * submitted,
+        "misses_per_core": misses,
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "cells_per_sec": (round(submitted / cold_wall, 1)
+                              if cold_wall else 0.0),
+        },
+        "hot": {
+            "wall_seconds": round(hot_wall, 4),
+            "cells_per_sec": (round(submitted / hot_wall, 1)
+                              if hot_wall else 0.0),
+        },
+        "simulated": by_source["simulated"],
+        "dedup_hits": by_source["dedup"],
+        "cache_hits": by_source["cache"],
+        "dedup_hit_rate": stats["dedup_hit_rate"],
+        "cache_hit_latency_ms": {
+            "p50": latency["p50_ms"],
+            "p95": latency["p95_ms"],
+        },
+        "max_executions_per_key": stats["max_executions_per_key"],
+        "exactly_once": exactly_once,
+        "fanned_out": fanned_out,
+        "conserved": conserved,
+    }

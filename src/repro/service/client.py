@@ -1,0 +1,223 @@
+"""Client for the sweep service: async core plus a sync facade.
+
+:class:`SweepClient` speaks the newline-delimited JSON protocol over
+one connection.  Responses and streamed events share the socket; the
+client demultiplexes by buffering whatever arrives while a caller waits
+for a specific message type, so you can poll ``stats`` mid-stream
+without losing ``cell`` events.
+
+The blocking helpers (:func:`run_sweep`, :func:`wait_for_service`) wrap
+the async client in ``asyncio.run`` for the CLI, the load generator,
+and scripts that just want a dict of results back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.executor import Cell
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode,
+    read_message,
+    submit_request,
+)
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error, or the stream broke."""
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one submitted sweep produced."""
+
+    job_id: str
+    status: str
+    #: canonical ``RunResult`` dicts by submit position.
+    results: Dict[int, Dict] = field(default_factory=dict)
+    #: worker tracebacks by submit position (failed cells only).
+    errors: Dict[int, str] = field(default_factory=dict)
+    #: ``cache`` / ``simulated`` / ``dedup`` by submit position.
+    sources: Dict[int, str] = field(default_factory=dict)
+    #: cell intake -> event emission, milliseconds, by submit position.
+    latencies_ms: Dict[int, float] = field(default_factory=dict)
+    #: the job's final progress snapshot from ``job_done``.
+    progress: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed" and not self.errors
+
+
+class SweepClient:
+    """One connection to a running sweep service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._buffered: List[Dict] = []
+
+    async def connect(self) -> "SweepClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "SweepClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    async def send(self, message: Dict) -> None:
+        if self._writer is None:
+            raise ServiceError("not connected")
+        self._writer.write(encode(message))
+        await self._writer.drain()
+
+    async def recv(self) -> Dict:
+        """Next message: buffered first, then the stream."""
+        if self._buffered:
+            return self._buffered.pop(0)
+        if self._reader is None:
+            raise ServiceError("not connected")
+        message = await read_message(self._reader)
+        if message is None:
+            raise ServiceError("service closed the connection")
+        return message
+
+    async def recv_type(self, *types: str) -> Dict:
+        """Next message of one of ``types``; everything else that
+        arrives meanwhile is buffered for later :meth:`recv` calls.
+        An ``error`` response raises :class:`ServiceError`."""
+        skipped: List[Dict] = []
+        try:
+            while True:
+                message = await self.recv()
+                if message["type"] in types:
+                    return message
+                if message["type"] == "error":
+                    raise ServiceError(message.get("message", "error"))
+                skipped.append(message)
+        finally:
+            self._buffered = skipped + self._buffered
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict:
+        await self.send({"type": "ping"})
+        return await self.recv_type("pong")
+
+    async def stats(self) -> Dict:
+        await self.send({"type": "stats"})
+        return await self.recv_type("stats")
+
+    async def status(self, job_id: str) -> Dict:
+        await self.send({"type": "status", "job_id": job_id})
+        return await self.recv_type("job_status")
+
+    async def cancel(self, job_id: str) -> Dict:
+        await self.send({"type": "cancel", "job_id": job_id})
+        return await self.recv_type("cancelled")
+
+    async def watch(self) -> Dict:
+        await self.send({"type": "watch"})
+        return await self.recv_type("watching")
+
+    async def shutdown(self) -> Dict:
+        await self.send({"type": "shutdown"})
+        return await self.recv_type("shutting_down")
+
+    async def submit(self, cells: List[Cell],
+                     tenant: Optional[str] = None) -> str:
+        """Submit a sweep; returns the job id once accepted."""
+        await self.send(submit_request(cells, tenant=tenant))
+        ack = await self.recv_type("job")
+        return ack["job_id"]
+
+    async def run(self, cells: List[Cell], tenant: Optional[str] = None,
+                  on_event: Optional[Callable[[Dict], None]] = None,
+                  ) -> SweepOutcome:
+        """Submit and stream until ``job_done``; returns the outcome.
+
+        ``on_event`` (if given) sees every streamed message for this
+        connection — cell completions, telemetry windows, errors — in
+        arrival order.
+        """
+        job_id = await self.submit(cells, tenant=tenant)
+        outcome = SweepOutcome(job_id=job_id, status="running")
+        while True:
+            message = await self.recv()
+            if on_event is not None:
+                on_event(message)
+            kind = message["type"]
+            if kind == "cell" and message["job_id"] == job_id:
+                outcome.results[message["index"]] = message["result"]
+                outcome.sources[message["index"]] = message["source"]
+                outcome.latencies_ms[message["index"]] = \
+                    message["latency_ms"]
+            elif kind == "cell_error" and message["job_id"] == job_id:
+                outcome.errors[message["index"]] = message["error"]
+            elif kind == "job_done" and message["job_id"] == job_id:
+                outcome.status = message["status"]
+                outcome.progress = message["progress"]
+                return outcome
+            elif kind == "error":
+                raise ServiceError(message.get("message", "error"))
+
+
+# ----------------------------------------------------------------------
+# blocking facade (CLI / scripts)
+# ----------------------------------------------------------------------
+def run_sweep(host: str, port: int, cells: List[Cell],
+              tenant: Optional[str] = None,
+              on_event: Optional[Callable[[Dict], None]] = None,
+              ) -> SweepOutcome:
+    """Connect, submit, stream to completion, disconnect — blocking."""
+
+    async def _go() -> SweepOutcome:
+        async with SweepClient(host, port) as client:
+            return await client.run(cells, tenant=tenant,
+                                    on_event=on_event)
+
+    return asyncio.run(_go())
+
+
+def wait_for_service(host: str, port: int, timeout: float = 10.0) -> bool:
+    """Poll until the service answers a ping (or the timeout expires)."""
+
+    async def _ping_once() -> bool:
+        try:
+            async with SweepClient(host, port) as client:
+                await asyncio.wait_for(client.ping(), timeout=2.0)
+            return True
+        except (OSError, ServiceError, ProtocolError,
+                asyncio.TimeoutError):
+            return False
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if asyncio.run(_ping_once()):
+            return True
+        time.sleep(0.05)
+    return False

@@ -1,0 +1,105 @@
+"""Job bookkeeping for the sweep service.
+
+A *job* is one tenant's submit: an ordered list of cells, a
+:class:`~repro.experiments.executor.Progress` (the same accounting
+object the CLI executor ticks), a lifecycle status, and a handle on the
+asyncio task fanning its cells out.  The :class:`JobManager` owns the
+id space and the service-lifetime job counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import Cell, Progress
+
+#: job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+COMPLETED = "completed"  # every cell delivered
+FAILED = "failed"        # at least one cell errored; the rest delivered
+CANCELLED = "cancelled"
+
+TERMINAL = frozenset({COMPLETED, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One tenant's sweep submission."""
+
+    id: str
+    tenant: str
+    cells: List[Cell]
+    #: executor cache key per cell, parallel to :attr:`cells`.
+    keys: List[str]
+    progress: Progress
+    status: str = PENDING
+    cancelled: bool = False
+    created_at: float = field(default_factory=time.monotonic)
+    #: the asyncio task running the job (set by the service).
+    task: Optional[object] = None
+
+    def snapshot(self) -> Dict:
+        """JSON-serialisable status view (``job_status`` / ``job_done``)."""
+        return {
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "progress": self.progress.as_dict(),
+        }
+
+
+class JobManager:
+    """Id allocation, lookup, and lifetime counters for jobs."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    def create(self, cells: List[Cell], tenant: Optional[str]) -> Job:
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            tenant=tenant or "anonymous",
+            cells=list(cells),
+            keys=[cell.key() for cell in cells],
+            progress=Progress(total=len(cells)),
+        )
+        self.jobs[job.id] = job
+        self.submitted += 1
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def finish(self, job: Job, status: str) -> None:
+        """Move a job to a terminal state (idempotent)."""
+        if job.status in TERMINAL:
+            return
+        job.status = status
+        if status == COMPLETED:
+            self.completed += 1
+        elif status == FAILED:
+            self.failed += 1
+        elif status == CANCELLED:
+            self.cancelled += 1
+
+    @property
+    def active(self) -> int:
+        return sum(1 for job in self.jobs.values()
+                   if job.status not in TERMINAL)
+
+    def counters(self) -> Dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "active": self.active,
+        }

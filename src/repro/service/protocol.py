@@ -1,0 +1,157 @@
+"""Wire protocol for the sweep service: newline-delimited JSON.
+
+One JSON object per line, UTF-8, ``\\n``-terminated, in both
+directions.  Requests carry a ``type`` and may carry a client-chosen
+``req_id`` that the direct response echoes, so a client can interleave
+control traffic with a streaming job.
+
+Client -> server request types
+------------------------------
+
+=========  ==============================================================
+type       payload
+=========  ==============================================================
+submit     ``cells``: list of :meth:`Cell.to_dict` dicts; optional
+           ``tenant`` label.  Ack: ``job``; then per-cell ``cell`` /
+           ``cell_error`` events stream back, closed by ``job_done``.
+status     ``job_id``.  Response: ``job_status`` with the job's
+           progress snapshot.
+cancel     ``job_id``.  Response: ``cancelled`` (or ``error``).
+           Cells not yet finished stop streaming; cells another tenant
+           also waits on keep executing for that tenant.
+stats      Response: ``stats`` — service-lifetime counters, dedup and
+           cache-hit figures, latency percentiles.
+watch      Subscribe this connection to windowed ``telemetry``
+           snapshots.  Response: ``watching``.
+ping       Response: ``pong`` (carries the protocol version).
+shutdown   Ask the service to stop gracefully.  Response:
+           ``shutting_down``.
+=========  ==============================================================
+
+Server -> client message types
+------------------------------
+
+``job``          submit accepted: ``job_id``, ``cells`` (count), echoes
+                 ``req_id``.
+``cell``         one cell finished for your job: ``job_id``, ``index``
+                 (position in your submit), ``key`` (executor cache
+                 key), ``source`` (``cache`` | ``simulated`` |
+                 ``dedup``), ``latency_ms`` (submit-receipt to event),
+                 and the full ``result`` — the *same* canonical
+                 ``RunResult`` dict a solo CLI run produces,
+                 byte-identical.
+``cell_error``   the cell's worker raised: ``index``, ``key``,
+                 ``error`` (formatted traceback).  Only this cell
+                 failed; the rest of the job streams on.
+``job_done``     terminal: ``status`` (``completed`` | ``failed`` |
+                 ``cancelled``) and the job's final progress snapshot.
+``job_status``   response to ``status``.
+``telemetry``    windowed snapshot for watchers and active submitters:
+                 per-window completion/dedup/simulation deltas and
+                 cells/sec, plus service totals.
+``stats``        response to ``stats``.
+``error``        a request could not be honoured; echoes ``req_id``
+                 when the request carried one.
+
+``source`` semantics: ``cache`` = served from the shared result store
+(memo or disk) with no simulation; ``simulated`` = this request
+executed the cell on the worker pool; ``dedup`` = another tenant's
+identical in-flight cell was joined single-flight and its result fanned
+out — the cell ran **exactly once** service-wide either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import Cell
+
+#: bump on any incompatible wire change; ``pong`` and ``stats`` carry it.
+PROTOCOL_VERSION = 1
+
+#: default listen port for ``python -m repro serve`` and its clients.
+DEFAULT_PORT = 7316
+
+#: stream-reader line limit.  A submit line carries the full
+#: ``SystemConfig`` of every cell, so hundreds of cells per request
+#: need megabytes, not the asyncio default of 64 KiB.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: request types the server accepts.
+REQUEST_TYPES = frozenset(
+    {"submit", "status", "cancel", "stats", "watch", "ping", "shutdown"})
+
+
+class ProtocolError(ValueError):
+    """A malformed line, oversized message, or unknown request type."""
+
+
+def encode(message: Dict) -> bytes:
+    """One wire line: canonical JSON + newline.  Deterministic key
+    order keeps the stream diffable and the tests byte-stable."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Dict]:
+    """Read one message; ``None`` at EOF.  Blank lines are skipped."""
+    while True:
+        try:
+            line = await reader.readline()
+        except asyncio.LimitOverrunError as exc:
+            raise ProtocolError(f"message exceeds line limit: {exc}")
+        except ValueError as exc:
+            raise ProtocolError(f"unreadable message: {exc}")
+        if not line:
+            return None
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid JSON: {exc}")
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("message must be an object with a 'type'")
+        return message
+
+
+def validate_request(message: Dict) -> str:
+    """Check a client request's shape; returns its type."""
+    kind = message.get("type")
+    if kind not in REQUEST_TYPES:
+        raise ProtocolError(f"unknown request type: {kind!r}")
+    if kind in ("status", "cancel") and not isinstance(
+            message.get("job_id"), str):
+        raise ProtocolError(f"{kind} requires a string job_id")
+    if kind == "submit":
+        cells = message.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ProtocolError("submit requires a non-empty cells list")
+    return kind
+
+
+def submit_request(cells: List[Cell], tenant: Optional[str] = None,
+                   req_id: Optional[str] = None) -> Dict:
+    """Build a submit message from executor cells."""
+    message: Dict = {"type": "submit",
+                     "cells": [cell.to_dict() for cell in cells]}
+    if tenant is not None:
+        message["tenant"] = tenant
+    if req_id is not None:
+        message["req_id"] = req_id
+    return message
+
+
+def cells_from_submit(message: Dict) -> List[Cell]:
+    """Rebuild executor cells from a submit message.  The round trip
+    preserves each cell's content-hash key exactly, so a service-side
+    cell shares cache entries with its CLI twin."""
+    try:
+        return [Cell.from_dict(data) for data in message["cells"]]
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable cell in submit: {exc!r}")

@@ -280,6 +280,75 @@ def test_progress_render_flags_failures():
     assert "FAILED" in text and "cached" in text
 
 
+def test_progress_rate_is_zero_at_elapsed_zero(monkeypatch):
+    """A completion landing within the clock's resolution of started_at
+    must not explode into a billions-of-cells/s rate (the old 1e-9
+    elapsed floor turned 3 cells into 3e9 cells/s)."""
+    import time as time_mod
+
+    frozen = time_mod.monotonic()
+    monkeypatch.setattr(time_mod, "monotonic", lambda: frozen)
+    progress = Progress(total=4, completed=3, started_at=frozen)
+    assert progress.elapsed_seconds == 0.0
+    assert progress.cells_per_second == 0.0
+    assert "3/4 cells" in progress.render()
+
+
+def test_progress_rate_zero_before_first_completion():
+    progress = Progress(total=5)
+    assert progress.cells_per_second == 0.0
+
+
+def test_progress_render_empty_cell_set():
+    """An empty sweep (every requested cell deduplicated away, or a
+    figure invoked with zero workloads) renders without a bogus rate."""
+    progress = Progress(total=0)
+    assert progress.render() == "0/0 cells"
+    assert progress.cells_per_second == 0.0
+    snapshot = progress.as_dict()
+    assert snapshot["total"] == 0
+    assert snapshot["cells_per_second"] == 0.0
+
+
+def test_progress_as_dict_is_json_round_trippable():
+    progress = Progress(total=3, completed=2, cache_hits=1, simulated=1)
+    snapshot = json.loads(json.dumps(progress.as_dict()))
+    assert snapshot["completed"] == 2
+    assert snapshot["cache_hits"] == 1
+    assert snapshot["simulated"] == 1
+    assert snapshot["elapsed_seconds"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# wire round-trip (the sweep service ships cells as JSON)
+# ---------------------------------------------------------------------------
+def test_cell_wire_round_trip_preserves_key(config):
+    cell = make_cell(config, scheme="pom", workload="gcc", seed=9)
+    clone = Cell.from_dict(json.loads(json.dumps(cell.to_dict())))
+    assert clone == cell
+    assert clone.key() == cell.key()
+    assert clone.config == config
+
+
+def test_executor_core_is_shared_by_the_sync_front_end(tmp_path, config):
+    """The CLI executor and the sweep service share ExecutorCore: a
+    result remembered through one is visible to a core pointed at the
+    same store."""
+    from repro.experiments.executor import ExecutorCore
+
+    cell = make_cell(config)
+    executor = ExperimentExecutor(jobs=1, cache_dir=tmp_path)
+    result = executor.run_cell(cell)
+    core = ExecutorCore(cache_dir=tmp_path)
+    assert core.lookup(cell.key()) == result
+    # and vice versa: remember through the core, recall via the executor
+    other = make_cell(config, scheme="nonm")
+    core.remember(other.key(), result, other)
+    resumed = ExperimentExecutor(jobs=1, cache_dir=tmp_path)
+    assert resumed.run_cell(other) == result
+    assert resumed.last_progress.cache_hits == 1
+
+
 # ---------------------------------------------------------------------------
 # SuiteRunner integration
 # ---------------------------------------------------------------------------

@@ -1,0 +1,116 @@
+"""Wire-protocol unit tests: framing, validation, cell round trips."""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.executor import Cell
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    cells_from_submit,
+    encode,
+    read_message,
+    submit_request,
+    validate_request,
+)
+from repro.sim.config import default_config
+
+
+def _reader_with(data: bytes, limit: int = 1 << 20) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader(limit=limit)
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_all(data: bytes, limit: int = 1 << 20):
+    async def go():
+        reader = _reader_with(data, limit)
+        messages = []
+        while True:
+            message = await read_message(reader)
+            if message is None:
+                return messages
+            messages.append(message)
+
+    return asyncio.run(go())
+
+
+def test_encode_is_one_canonical_line():
+    line = encode({"b": 1, "a": 2})
+    assert line == b'{"a":2,"b":1}\n'
+
+
+def test_read_message_round_trips_and_skips_blanks():
+    payload = encode({"type": "ping"}) + b"\n\n" + encode(
+        {"type": "stats", "req_id": "r1"})
+    messages = _read_all(payload)
+    assert messages == [{"type": "ping"},
+                        {"type": "stats", "req_id": "r1"}]
+
+
+def test_read_message_eof_is_none():
+    assert _read_all(b"") == []
+
+
+def test_invalid_json_raises():
+    with pytest.raises(ProtocolError, match="invalid JSON"):
+        _read_all(b"{not json}\n")
+
+
+def test_non_object_message_raises():
+    with pytest.raises(ProtocolError, match="object with a 'type'"):
+        _read_all(b"[1,2,3]\n")
+
+
+def test_oversized_line_raises_protocol_error():
+    blob = b'{"type":"ping","pad":"' + b"x" * 4096 + b'"}\n'
+    with pytest.raises(ProtocolError):
+        _read_all(blob, limit=256)
+
+
+def test_validate_request_rejects_unknown_type():
+    with pytest.raises(ProtocolError, match="unknown request type"):
+        validate_request({"type": "teleport"})
+
+
+def test_validate_request_requires_job_id():
+    for kind in ("status", "cancel"):
+        with pytest.raises(ProtocolError, match="job_id"):
+            validate_request({"type": kind})
+        assert validate_request({"type": kind, "job_id": "job-1"}) == kind
+
+
+def test_validate_request_requires_cells():
+    with pytest.raises(ProtocolError, match="cells"):
+        validate_request({"type": "submit", "cells": []})
+
+
+def test_submit_round_trip_preserves_cell_keys():
+    config = dataclasses.replace(default_config(scale=0.25), cores=2)
+    cells = [Cell("silc", "mcf", config, misses_per_core=300, seed=7),
+             Cell("nonm", "milc", config, misses_per_core=200)]
+    message = submit_request(cells, tenant="t1", req_id="r9")
+    assert message["tenant"] == "t1" and message["req_id"] == "r9"
+    # through the wire: encode -> readline -> decode
+    decoded = json.loads(encode(message).decode())
+    rebuilt = cells_from_submit(decoded)
+    assert rebuilt == cells
+    assert [c.key() for c in rebuilt] == [c.key() for c in cells]
+
+
+def test_cells_from_submit_flags_undecodable_cells():
+    with pytest.raises(ProtocolError, match="undecodable cell"):
+        cells_from_submit({"type": "submit", "cells": [{"bogus": True}]})
+
+
+def test_line_limit_fits_hundreds_of_cells():
+    """A submit line carries full configs; the limit must hold a
+    hundreds-of-cells sweep with room to spare."""
+    config = default_config(scale=0.25)
+    one_cell = len(encode(submit_request(
+        [Cell("silc", "mcf", config, misses_per_core=5000)])))
+    assert one_cell * 500 < MAX_LINE_BYTES

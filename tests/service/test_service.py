@@ -1,0 +1,414 @@
+"""End-to-end tests for the asyncio sweep service.
+
+Each test spins a real service on an ephemeral localhost port and talks
+to it through :class:`SweepClient` over TCP — the same path production
+clients take.  Simulations use a shrunken config so the whole module
+stays fast.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.executor import Cell, ExperimentExecutor
+from repro.experiments.runner import run_one
+from repro.service import ServiceError, SweepClient, SweepService
+from repro.sim.config import default_config
+
+MISSES = 150
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(default_config(scale=0.25), cores=2)
+
+
+def make_cells(config, schemes=("nonm", "silc", "cam"), workload="mcf",
+               **overrides):
+    kwargs = dict(misses_per_core=MISSES)
+    kwargs.update(overrides)
+    return [Cell(s, workload, config, **kwargs) for s in schemes]
+
+
+def canonical(result_dict):
+    return json.dumps(result_dict, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# submit / results / progress
+# ---------------------------------------------------------------------------
+def test_submit_streams_byte_identical_results(config):
+    cells = make_cells(config)
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                outcome = await client.run(cells, tenant="t1")
+        return outcome
+
+    outcome = asyncio.run(go())
+    assert outcome.status == "completed" and outcome.ok
+    assert set(outcome.results) == {0, 1, 2}
+    assert set(outcome.sources.values()) == {"simulated"}
+    for index, cell in enumerate(cells):
+        direct = run_one(cell.scheme_key, cell.workload_name, cell.config,
+                         misses_per_core=cell.misses_per_core)
+        assert canonical(outcome.results[index]) == canonical(
+            direct.to_dict()), f"cell {index} diverged from solo run"
+    # per-job progress rides the executor's Progress machinery
+    assert outcome.progress["total"] == 3
+    assert outcome.progress["completed"] == 3
+    assert outcome.progress["simulated"] == 3
+    assert outcome.progress["failed"] == 0
+
+
+def test_repeat_submission_is_served_from_cache(config):
+    cells = make_cells(config)
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                first = await client.run(cells, tenant="t1")
+                second = await client.run(cells, tenant="t2")
+                stats = await client.stats()
+        return first, second, stats
+
+    first, second, stats = asyncio.run(go())
+    assert set(second.sources.values()) == {"cache"}
+    for index in second.results:
+        assert canonical(second.results[index]) == canonical(
+            first.results[index])
+    assert stats["unique_simulated"] == len(cells)
+    assert stats["max_executions_per_key"] == 1
+    assert stats["cells"]["by_source"]["cache"] == len(cells)
+    latency = stats["cache_hit_latency"]
+    assert latency["count"] == len(cells)
+    assert latency["p50_ms"] is not None and latency["p50_ms"] >= 0
+    # conservation: every completed cell has exactly one source
+    by_source = stats["cells"]["by_source"]
+    assert stats["cells"]["completed"] == sum(by_source.values())
+
+
+# ---------------------------------------------------------------------------
+# single-flight dedup across tenants
+# ---------------------------------------------------------------------------
+def test_concurrent_tenants_share_single_flight_execution(config):
+    """Two tenants submitting overlapping sweeps concurrently: shared
+    cells execute exactly once, results fan out to both, and the
+    latecomer's events are tagged ``dedup``."""
+    shared = make_cells(config, schemes=("nonm", "silc"))
+    only_b = make_cells(config, schemes=("cam",))
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            client_a = await SweepClient("127.0.0.1", service.port).connect()
+            client_b = await SweepClient("127.0.0.1", service.port).connect()
+            try:
+                outcome_a, outcome_b = await asyncio.gather(
+                    client_a.run(shared, tenant="a"),
+                    client_b.run(shared + only_b, tenant="b"))
+                stats = await client_a.stats()
+            finally:
+                await client_a.close()
+                await client_b.close()
+        return outcome_a, outcome_b, stats
+
+    outcome_a, outcome_b, stats = asyncio.run(go())
+    assert outcome_a.ok and outcome_b.ok
+    # every tenant received its full result set
+    assert set(outcome_a.results) == {0, 1}
+    assert set(outcome_b.results) == {0, 1, 2}
+    # the overlapping cells are identical objects wire-to-wire
+    for index in (0, 1):
+        assert canonical(outcome_a.results[index]) == canonical(
+            outcome_b.results[index])
+    # exactly-once: 3 unique keys, no key executed twice
+    assert stats["unique_simulated"] == 3
+    assert stats["max_executions_per_key"] == 1
+    assert stats["cells"]["by_source"]["dedup"] == 2
+    assert stats["dedup_hit_rate"] == pytest.approx(2 / 5)
+    sources = set(outcome_a.sources.values()) | set(
+        outcome_b.sources.values())
+    assert "dedup" in sources and "simulated" in sources
+
+
+def test_duplicate_cells_within_one_job_dedupe(config):
+    """Intra-job duplicates also single-flight, yet every submitted
+    index gets its event — tenants never have to pre-dedupe."""
+    cell = make_cells(config, schemes=("nonm",))[0]
+    cells = [cell, cell, cell]
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                outcome = await client.run(cells)
+                stats = await client.stats()
+        return outcome, stats
+
+    outcome, stats = asyncio.run(go())
+    assert outcome.ok and set(outcome.results) == {0, 1, 2}
+    assert stats["unique_simulated"] == 1
+    assert stats["max_executions_per_key"] == 1
+    assert stats["cells"]["by_source"]["dedup"] == 2
+
+
+# ---------------------------------------------------------------------------
+# shared on-disk cache with the CLI executor
+# ---------------------------------------------------------------------------
+def test_service_serves_results_the_cli_simulated(tmp_path, config):
+    cells = make_cells(config, schemes=("silc",))
+    executor = ExperimentExecutor(jobs=1, cache_dir=tmp_path)
+    direct = executor.run_cell(cells[0])
+
+    async def go():
+        async with SweepService(jobs=1, cache_dir=str(tmp_path),
+                                telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                outcome = await client.run(cells)
+                stats = await client.stats()
+        return outcome, stats
+
+    outcome, stats = asyncio.run(go())
+    assert outcome.sources[0] == "cache"
+    assert canonical(outcome.results[0]) == canonical(direct.to_dict())
+    assert stats["unique_simulated"] == 0
+
+
+def test_cli_resumes_from_results_the_service_simulated(tmp_path, config):
+    cells = make_cells(config, schemes=("nonm", "silc"))
+
+    async def go():
+        async with SweepService(jobs=2, cache_dir=str(tmp_path),
+                                telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                return await client.run(cells)
+
+    outcome = asyncio.run(go())
+    assert outcome.ok
+    executor = ExperimentExecutor(jobs=1, cache_dir=tmp_path)
+    results = executor.run_cells(cells)
+    assert executor.last_progress.simulated == 0
+    assert executor.last_progress.cache_hits == 2
+    for index, cell in enumerate(cells):
+        assert canonical(results[cell].to_dict()) == canonical(
+            outcome.results[index])
+
+
+# ---------------------------------------------------------------------------
+# worker-failure isolation under the service
+# ---------------------------------------------------------------------------
+def test_poisoned_cell_fails_alone_and_tenants_are_isolated(config):
+    """A job with one poisoned cell: only that cell fails, the failure
+    is reported on the job's own event stream, and a concurrent
+    tenant's healthy job is untouched."""
+    poisoned = [Cell("no-such-scheme", "mcf", config,
+                     misses_per_core=MISSES)] + make_cells(
+        config, schemes=("nonm", "silc"))
+    healthy = make_cells(config, schemes=("cam",), workload="milc")
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0) as service:
+            client_a = await SweepClient("127.0.0.1", service.port).connect()
+            client_b = await SweepClient("127.0.0.1", service.port).connect()
+            try:
+                outcome_a, outcome_b = await asyncio.gather(
+                    client_a.run(poisoned, tenant="victim"),
+                    client_b.run(healthy, tenant="bystander"))
+                stats = await client_b.stats()
+            finally:
+                await client_a.close()
+                await client_b.close()
+        return outcome_a, outcome_b, stats
+
+    outcome_a, outcome_b, stats = asyncio.run(go())
+    # the poisoned job: exactly one cell_error, the rest delivered
+    assert outcome_a.status == "failed"
+    assert set(outcome_a.errors) == {0}
+    assert "no-such-scheme" in outcome_a.errors[0]
+    assert "KeyError" in outcome_a.errors[0]
+    assert set(outcome_a.results) == {1, 2}
+    assert outcome_a.progress["failed"] == 1
+    assert outcome_a.progress["completed"] == 3
+    # the bystander tenant never noticed
+    assert outcome_b.ok
+    assert outcome_b.progress["failed"] == 0
+    assert stats["cells"]["failed"] == 1
+    assert stats["jobs"]["failed"] == 1
+    assert stats["jobs"]["completed"] == 1
+
+
+def test_failed_keys_are_retried_on_resubmission(config):
+    """Failures are not memoised: a resubmitted poisoned cell fails
+    again (fresh attempt) rather than replaying a cached traceback."""
+    poisoned = [Cell("no-such-scheme", "mcf", config,
+                     misses_per_core=MISSES)]
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                first = await client.run(poisoned)
+                second = await client.run(poisoned)
+        return first, second
+
+    first, second = asyncio.run(go())
+    assert first.status == "failed" and second.status == "failed"
+    assert 0 in first.errors and 0 in second.errors
+
+
+# ---------------------------------------------------------------------------
+# job control: status / cancel
+# ---------------------------------------------------------------------------
+def test_status_and_cancel_from_a_second_connection(config):
+    """A slow job (jobs=1, several cells) can be observed and cancelled
+    from another connection; the submitter still gets job_done."""
+    cells = make_cells(config,
+                       schemes=("nonm", "silc", "cam", "pom", "hma"),
+                       misses_per_core=600)
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            submitter = await SweepClient(
+                "127.0.0.1", service.port).connect()
+            controller = await SweepClient(
+                "127.0.0.1", service.port).connect()
+            try:
+                job_id = await submitter.submit(cells, tenant="slow")
+                status = await controller.status(job_id)
+                assert status["status"] in ("pending", "running")
+                cancelled = await controller.cancel(job_id)
+                assert cancelled["job_id"] == job_id
+                # the submitter's stream terminates with job_done
+                done = await submitter.recv_type("job_done")
+                # cancelling twice is an error
+                with pytest.raises(ServiceError, match="already"):
+                    await controller.cancel(job_id)
+                final = await controller.status(job_id)
+            finally:
+                await submitter.close()
+                await controller.close()
+        return done, final
+
+    done, final = asyncio.run(go())
+    assert done["status"] == "cancelled"
+    assert final["status"] == "cancelled"
+    assert done["progress"]["completed"] < len(cells)
+
+
+def test_unknown_job_is_an_error(config):
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                with pytest.raises(ServiceError, match="unknown job"):
+                    await client.status("job-999")
+                with pytest.raises(ServiceError, match="unknown job"):
+                    await client.cancel("job-999")
+
+    asyncio.run(go())
+
+
+def test_cancel_spares_other_tenants_shared_cells(config):
+    """Cancelling tenant A must not starve tenant B of cells both
+    jobs share single-flight: the execution belongs to the key, not
+    the job."""
+    shared = make_cells(config, schemes=("nonm", "silc", "cam"),
+                        misses_per_core=600)
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            client_a = await SweepClient("127.0.0.1", service.port).connect()
+            client_b = await SweepClient("127.0.0.1", service.port).connect()
+            try:
+                job_a = await client_a.submit(shared, tenant="a")
+                collect_b = asyncio.ensure_future(
+                    client_b.run(shared, tenant="b"))
+                await asyncio.sleep(0.05)
+                await client_a.cancel(job_a)
+                done_a = await client_a.recv_type("job_done")
+                outcome_b = await collect_b
+            finally:
+                await client_a.close()
+                await client_b.close()
+        return done_a, outcome_b
+
+    done_a, outcome_b = asyncio.run(go())
+    assert done_a["status"] == "cancelled"
+    assert outcome_b.ok
+    assert set(outcome_b.results) == {0, 1, 2}
+
+
+# ---------------------------------------------------------------------------
+# telemetry stream / protocol errors / shutdown
+# ---------------------------------------------------------------------------
+def test_watcher_receives_windowed_telemetry(config):
+    cells = make_cells(config)
+
+    async def go():
+        async with SweepService(jobs=2,
+                                telemetry_interval=0.05) as service:
+            watcher = await SweepClient("127.0.0.1", service.port).connect()
+            submitter = await SweepClient(
+                "127.0.0.1", service.port).connect()
+            try:
+                await watcher.watch()
+                outcome = await submitter.run(cells)
+                telemetry = await asyncio.wait_for(
+                    watcher.recv_type("telemetry"), timeout=5)
+            finally:
+                await watcher.close()
+                await submitter.close()
+        return outcome, telemetry
+
+    outcome, telemetry = asyncio.run(go())
+    assert outcome.ok
+    assert telemetry["interval_seconds"] == pytest.approx(0.05)
+    assert {"completed", "failed", "cache", "simulated", "dedup",
+            "cells_per_second"} <= set(telemetry["window"])
+    assert telemetry["totals"]["completed"] >= 0
+    assert "active_jobs" in telemetry and "inflight" in telemetry
+
+
+def test_submitter_stream_carries_telemetry_snapshots(config):
+    """Active submitters get telemetry interleaved with cell events
+    without asking."""
+    cells = make_cells(config, misses_per_core=800)
+    seen = []
+
+    async def go():
+        async with SweepService(jobs=1,
+                                telemetry_interval=0.05) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                return await client.run(cells, on_event=seen.append)
+
+    outcome = asyncio.run(go())
+    assert outcome.ok
+    kinds = {event["type"] for event in seen}
+    assert "cell" in kinds and "job_done" in kinds
+    assert "telemetry" in kinds, "no windowed snapshot reached the tenant"
+
+
+def test_malformed_request_gets_error_reply(config):
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                await client.send({"type": "teleport"})
+                with pytest.raises(ServiceError, match="unknown request"):
+                    await client.recv_type("pong")
+                # the connection survives a bad request
+
+    asyncio.run(go())
+
+
+def test_shutdown_request_stops_run_until_shutdown(config):
+    async def go():
+        service = SweepService(jobs=1, telemetry_interval=0)
+        await service.start()
+        runner = asyncio.ensure_future(service.run_until_shutdown())
+        async with SweepClient("127.0.0.1", service.port) as client:
+            reply = await client.shutdown()
+        await asyncio.wait_for(runner, timeout=5)
+        return reply
+
+    reply = asyncio.run(go())
+    assert reply["type"] == "shutting_down"
