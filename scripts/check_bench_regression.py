@@ -45,6 +45,16 @@ tax — deterministically (simulation cycles, not wall clock), so an
 MSHR policy regression cannot ride in behind healthy throughput
 numbers.  Skipped for payloads that predate the v5 suite.
 
+Schema-v7 payloads carry a ``batch_curve`` section: the closed-form
+window evaluator's speedup across pinned ``batch_window`` sizes, each
+point digest-checked against the scalar engine before the bench reports
+it.  The gate holds every baseline point's speedup to the shared
+``--threshold``, matched by window size.  Like the batched column, the
+closed-form column is load-bearing once measured: a baseline with a
+curve and a current run without one (or missing a baseline window) is a
+**failure**, not a skip — only baselines that predate schema v7 skip
+the gate.
+
 Schema-v6 payloads carry a ``service`` section: the multi-tenant sweep
 service under a pinned concurrent load.  The gate holds its cold and
 hot ``cells_per_sec`` to the baseline with the same ``--threshold`` as
@@ -93,7 +103,8 @@ def load_cells(path: str):
     speedups = (payload.get("figures_of_merit") or {}).get(
         "speedup_over_nonm") or {}
     service = payload.get("service")
-    return cells, total, measured_tails, speedups, service
+    curve = payload.get("batch_curve")
+    return cells, total, measured_tails, speedups, service, curve
 
 
 def check_mshr_dominance(speedups, failures):
@@ -115,6 +126,48 @@ def check_mshr_dominance(speedups, failures):
         marker = "  <-- REGRESSION"
     print(f"  silc speedup geomean: default-MSHR {silc['geomean']:.4f} "
           f"vs compat {compat['geomean']:.4f}{marker}")
+
+
+def check_curve(base, cur, threshold, failures):
+    """Gate the schema-v7 closed-form speedup curve.
+
+    Each baseline point's speedup (matched by ``batch_window``) is held
+    to the shared ``--threshold``.  A baseline with a curve and a
+    current run without one — or without one of the baseline's windows
+    — is a failure: the closed-form column must not silently drop out
+    of the bench.  Pre-v7 baselines (no curve) skip."""
+    if base is None:
+        if cur is not None:
+            print("  note: new batch_curve section (no baseline)")
+        else:
+            print("  note: no batch_curve in either file "
+                  "(pre-v7 payloads) — closed-form gate skipped")
+        return
+    if cur is None:
+        failures.append("curve:missing")
+        print("  batch_curve: baseline has a closed-form curve, current "
+              "run does not  <-- REGRESSION")
+        return
+    cur_points = {p["batch_window"]: p for p in cur.get("points", [])}
+    for point in base.get("points", []):
+        window = point["batch_window"]
+        label = f"curve:w{window}"
+        cur_point = cur_points.get(window)
+        if cur_point is None:
+            failures.append(label)
+            print(f"  batch_curve w={window}: {point['speedup']:.2f}x -> "
+                  f"missing  <-- REGRESSION")
+            continue
+        base_speedup = point["speedup"]
+        cur_speedup = cur_point["speedup"]
+        ratio = (cur_speedup / base_speedup if base_speedup
+                 else float("inf"))
+        marker = ""
+        if ratio < 1 - threshold:
+            failures.append(label)
+            marker = "  <-- REGRESSION"
+        print(f"  batch_curve w={window}: {base_speedup:.2f}x -> "
+              f"{cur_speedup:.2f}x ({ratio:.2f}x){marker}")
 
 
 def check_service(base, cur, threshold, failures):
@@ -230,9 +283,10 @@ def main(argv=None) -> int:
     if args.tail_threshold <= 0:
         parser.error("--tail-threshold must be positive")
 
-    base_cells, base_total, _, _, base_service = load_cells(args.baseline)
+    (base_cells, base_total, _, _,
+     base_service, base_curve) = load_cells(args.baseline)
     (cur_cells, cur_total, cur_measured_tails,
-     cur_speedups, cur_service) = load_cells(args.current)
+     cur_speedups, cur_service, cur_curve) = load_cells(args.current)
     if not cur_measured_tails:
         print("  note: current run measured no latency tails "
               "(quick run with span sampling off) — tail gate skipped")
@@ -277,6 +331,7 @@ def main(argv=None) -> int:
                   args.threshold, failures)
     check_mshr_dominance(cur_speedups, failures)
     check_service(base_service, cur_service, args.threshold, failures)
+    check_curve(base_curve, cur_curve, args.threshold, failures)
 
     if failures:
         print(f"FAIL: regression past thresholds "

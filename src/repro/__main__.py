@@ -227,6 +227,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--out-dir", default="results", metavar="DIR",
         help="where BENCH_<date>.json lands (default results/)")
+    bench_p.add_argument(
+        "--profile", action="store_true",
+        help="capture a cProfile of one untimed closed-form run per"
+             " cell into <out-dir>/profiles/*.pstats")
 
     analyze_p = sub.add_parser(
         "analyze", help="latency-attribution report from a telemetry"
@@ -527,9 +531,12 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from pathlib import Path
+
     from repro.experiments.bench import run_bench, write_bench
 
-    payload = run_bench(quick=args.quick)
+    profile_dir = Path(args.out_dir) / "profiles" if args.profile else None
+    payload = run_bench(quick=args.quick, profile_dir=profile_dir)
     path = write_bench(payload, args.out_dir)
     throughput = payload["throughput"]
     def _tail(value):
@@ -543,9 +550,20 @@ def _cmd_bench(args) -> int:
           _tail(c.get("p95_latency")), _tail(c.get("p99_latency"))]
          for c in payload["cells"]],
         title=f"bench ({'quick' if args.quick else 'full'})"))
+    speedup = throughput.get("batch_speedup")
     print(f"total: {throughput['total_accesses']:,} accesses in "
           f"{throughput['total_wall_seconds']:.2f}s "
-          f"({throughput['accesses_per_sec']:,.0f}/s)")
+          f"({throughput['accesses_per_sec']:,.0f}/s"
+          + (f", batch speedup {speedup:.2f}x" if speedup else "") + ")")
+    curve = payload.get("batch_curve")
+    if curve:
+        points = "  ".join(
+            f"w={p['batch_window']}: {p['speedup']:.2f}x"
+            for p in curve["points"])
+        print(f"closed-form speedup curve ({'/'.join(curve['workloads'])}"
+              f" x {'/'.join(curve['variants'])}): {points}")
+    if profile_dir is not None:
+        print(f"wrote per-cell profiles to {profile_dir}/")
     print(f"wrote {path}")
     return 0
 

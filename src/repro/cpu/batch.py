@@ -64,6 +64,10 @@ class BatchCore(Core):
         #: the retire callback bound once — ``self._miss_done`` at a
         #: call site builds a fresh bound method per miss.
         self._retire = self._miss_done
+        #: likewise the issue callback: ``_advance`` schedules it once
+        #: per miss, and the closed-form evaluator recognises issue
+        #: events by this method's identity.
+        self._issue_bound = self._issue_cols
 
     def _advance(self) -> None:
         i = self._cursor
@@ -83,7 +87,7 @@ class BatchCore(Core):
         gap = self._gap[i]
         self.stats.instructions += gap
         # same issue event, carrying columns instead of a record object
-        self._engine.schedule(gap / self._issue_width, self._issue_cols,
+        self._engine.schedule(gap / self._issue_width, self._issue_bound,
                               self._pc[i], self._vaddr[i], self._write[i])
 
     def _issue_cols(self, pc: int, vaddr: int, is_write: bool) -> None:
@@ -179,7 +183,18 @@ class BatchFlatMemoryController(FlatMemoryController):
                 del self.handle_request
                 halt()
 
+        def disarm() -> None:
+            if armed[0]:
+                armed[0] = False
+                del self.handle_request
+
         self.handle_request = checking
+        #: the closed-form evaluator inlines the dispatch body and so
+        #: performs the threshold check itself; when it fires it disarms
+        #: this wrapper through the hook so that rare generic-dispatch
+        #: events during warmup (MSHR drains, stalled retries) still go
+        #: through ``checking`` until then.
+        self._disarm_warmup = disarm
 
     def _recycle(self, txn: MemoryRequest) -> None:
         """Return a completed fast-path transaction to the pool (called
@@ -219,8 +234,13 @@ class BatchFlatMemoryController(FlatMemoryController):
             txn.state = STAGING
             device.access_turbo(addr, size, op_write, True, txn.fast_done)
             return
-        # scheme declined: build the full plan, mirroring the scalar
-        # handle_request step for step.
+        self._dispatch_declined(txn, now)
+
+    def _dispatch_declined(self, txn: MemoryRequest, now: float) -> None:
+        """Scheme declined the fast shape: build the full plan,
+        mirroring the scalar ``handle_request`` step for step.  Split
+        out so the closed-form evaluator (which inlines the accepted
+        shape) can call the cold half directly."""
         plan = self.scheme.access(txn.paddr, txn.is_write, txn.pc)
         txn.plan = plan
         txn.stages = plan.stages

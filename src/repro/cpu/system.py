@@ -200,6 +200,10 @@ class System:
         if config.mshr_entries > 0:
             self.mshr = MSHRFile(
                 self.engine, config.mshr_entries, self.controller)
+            if use_batch:
+                # batch data plane recycles transactions; the scalar
+                # reference path keeps its per-miss allocations.
+                self.mshr.enable_pooling()
         send_miss = (self.mshr.issue if self.mshr is not None
                      else self.controller.handle_miss)
         self.hierarchy = (
@@ -356,6 +360,15 @@ class System:
         collecting = self._use_batch and gc.isenabled()
         if collecting:
             gc.disable()
+        #: two-tier clock (repro.sim.window): the closed-form window
+        #: evaluator replaces Engine.run's generic dispatch whenever the
+        #: dense-shape transcriptions apply — batch mode with no oracle,
+        #: no span tracing, and no watchdog (the evaluator has no
+        #: max_events accounting; validation runs keep generic dispatch).
+        use_cf = (self._use_batch and max_events is None
+                  and self.oracle is None and self.spans is None)
+        if use_cf:
+            from repro.sim.window import run_closed_form
         try:
             if warming and self._use_batch and max_events is None:
                 # batch engine: the warmup reset point is a *miss-count*
@@ -367,7 +380,13 @@ class System:
                 # count crossed, exactly where the step loop's check
                 # would have fired.
                 self.controller.arm_warmup_halt(self._warmup_misses)
-                engine.run()
+                if use_cf:
+                    # the evaluator performs the wrapper's check inline
+                    # on fused dispatches; the armed wrapper still
+                    # covers generically-dispatched ones.
+                    run_closed_form(self, self._warmup_misses)
+                else:
+                    engine.run()
                 self._check_warmup()
                 if self._warmup_done_at is None:
                     raise SimulationError(
@@ -391,8 +410,11 @@ class System:
             if self._finished < total:
                 self._halt_on_done = True
                 try:
-                    engine.run(max_events=(None if max_events is None
-                                           else max_events - dispatched))
+                    if use_cf:
+                        run_closed_form(self)
+                    else:
+                        engine.run(max_events=(None if max_events is None
+                                               else max_events - dispatched))
                 finally:
                     self._halt_on_done = False
                 if self._finished < total:

@@ -7,10 +7,12 @@ produces — and applies the same bank/bus/stats state updates that
 issuing the chunks one at a time through the channel fast path would.
 The contract is **bit-identical** timing:
 
-* per-bank CAS chains are vectorized with ``np.add.accumulate`` (a
-  strictly left-to-right scan, so the float rounding matches the scalar
-  ``cas += step`` loop exactly — a closed-form ``cas1 + i*step`` would
-  *not*, since float addition is non-associative);
+* per-bank CAS chains are folded by the bank's advance-by-window helper
+  (:meth:`repro.dram.bank.Bank.prepare_window`), which vectorizes with
+  ``np.add.accumulate`` — a strictly left-to-right scan, so the float
+  rounding matches the scalar ``cas += step`` loop exactly (a
+  closed-form ``cas1 + i*step`` would *not*, since float addition is
+  non-associative);
 * the data-bus recurrence ``busy = max(ready_i, busy) + burst_i`` is
   inherently sequential *across* banks, so it stays a scalar loop (the
   window is bounded by ``Channel.pipeline_depth``, so the loop is short);
@@ -29,8 +31,6 @@ the *same math* written per chunk, so eligibility never changes results
 from __future__ import annotations
 
 from typing import List, Tuple
-
-import numpy as np
 
 from repro.sim import faults
 
@@ -72,49 +72,16 @@ def window_timing(channel, chunks: List[Tuple[int, int, int]],
             return _scalar_window(channel, chunks, bursts, now)
 
     data_ready = [0.0] * len(chunks)
-    ccd = t.t_ccd * cpm
-    cas_extra = t.t_cas * cpm
     for bank_index, members in groups.items():
+        # all-same-row group (checked above): the bank's advance-by-
+        # window helper folds the whole chain — first access replays
+        # ``prepare``'s branch on the row-buffer state, every later one
+        # is a row hit at one column gap, accumulated bit-for-bit.
         bank = channel._banks[bank_index]
-        row = chunks[members[0]][1]
-        # First access of the group: inline replay of ``Bank.prepare``'s
-        # branch on the current row-buffer state.  Inline (rather than
-        # calling prepare and subtracting tCAS back out) because
-        # ``(cas + tCAS) - tCAS`` is not float-exact and the chain below
-        # needs the *first CAS itself* as its seed.
-        start = now if now > bank.ready else bank.ready
-        if bank.open_row == row:
-            bank.stats.row_hits += 1
-            cas1 = start
-        elif bank.open_row is None:
-            bank.stats.row_closed += 1
-            bank._activated_at = start
-            cas1 = start + t.t_rcd * cpm
-        else:
-            bank.stats.row_conflicts += 1
-            activated = bank._activated_at + t.t_ras * cpm
-            precharge = start if start > activated else activated
-            activate = precharge + t.t_rp * cpm
-            bank._activated_at = activate
-            cas1 = activate + t.t_rcd * cpm
-        bank.open_row = row
-        rest = len(members) - 1
-        if rest == 0:
-            bank.ready = cas1 + ccd
-            data_ready[members[0]] = cas1 + cas_extra
-        else:
-            # every later access in the group is a row hit whose CAS is
-            # the previous CAS plus one column gap; accumulate replays
-            # the sequential ``cas += ccd`` chain bit-for-bit.
-            bank.stats.row_hits += rest
-            steps = np.empty(rest + 1, dtype=np.float64)
-            steps[0] = cas1
-            steps[1:] = ccd
-            cas = np.add.accumulate(steps)
-            ready = cas + cas_extra
-            for j, member in enumerate(members):
-                data_ready[member] = float(ready[j])
-            bank.ready = float(cas[rest]) + ccd
+        ready = bank.prepare_window(chunks[members[0]][1], len(members),
+                                    now)
+        for j, member in enumerate(members):
+            data_ready[member] = ready[j]
 
     # bus serialization + stats: sequential in window order (the chain
     # crosses banks and every float add must replay the scalar order).

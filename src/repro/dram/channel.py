@@ -77,6 +77,9 @@ class Channel:
     #: scheduler's window is similarly bounded; this also keeps the pick
     #: cost O(window) under deep backlogs).
     scheduler_window = 32
+    #: DRAMRequest free pool — a list on turbo channels (see
+    #: ``enable_turbo``), None on scalar channels.
+    _req_pool = None
 
     def __init__(self, engine: Engine, timings: DRAMTimings) -> None:
         self._engine = engine
@@ -280,6 +283,9 @@ class Channel:
     # ``enable_turbo`` (scalar runs never see it); behaviour is
     # bit-identical and gated by tests/integration/test_batch_equivalence.
     # ------------------------------------------------------------------
+    #: recycled DRAMRequest objects kept per turbo channel.
+    _REQ_POOL_CAP = 64
+
     def enable_turbo(self) -> None:
         """Rebind this channel's queued path to the fused twins (batch
         runs only; the class-level scalar methods stay untouched)."""
@@ -292,6 +298,16 @@ class Channel:
         self._turbo_rp = t.t_rp * cpm
         self._turbo_ccd = t.t_ccd * cpm
         self._turbo_cas = t.t_cas * cpm
+        #: request free pool: ``_complete_turbo`` recycles, the batch
+        #: dispatcher (``MemoryDevice.access_turbo``) re-acquires.  A
+        #: request is dead once its completion callback has run —
+        #: nothing reads it afterwards — so recycling at completion is
+        #: safe.  None on scalar channels (never enabled).
+        self._req_pool = []
+        #: completion callbacks bound once — a ``schedule_at`` call site
+        #: builds a fresh bound method per event otherwise.
+        self._complete_turbo_bound = self._complete_turbo
+        self._complete_fast_bound = self._complete_fast
         self.submit = self._submit_turbo
         self._try_issue = self._try_issue_turbo
 
@@ -336,7 +352,7 @@ class Channel:
         cap = self.starvation_cap
         share = self.background_share + 1
         schedule_at = engine.schedule_at
-        complete = self._complete_turbo
+        complete = self._complete_turbo_bound
         rcd = self._turbo_rcd
         ras = self._turbo_ras
         rp = self._turbo_rp
@@ -434,6 +450,14 @@ class Channel:
         else:
             stats.background_bytes += size
         on_complete = request.on_complete
+        pool = self._req_pool
+        if pool is not None and len(pool) < self._REQ_POOL_CAP:
+            # recycle before the callback runs: the callback may submit
+            # again (and re-acquire this very object) but can never read
+            # the completed request — its payload is already in locals.
+            request.on_complete = None
+            request.span = None
+            pool.append(request)
         if on_complete is not None:
             on_complete(now)
         if ((self._demand_queue or self._background_queue)

@@ -14,6 +14,7 @@ from repro.dram.channel import Channel, ChannelStats
 from repro.dram.mapping import CHANNEL_INTERLEAVE_BYTES, AddressMapper, DRAMCoordinates
 from repro.dram.request import DRAMRequest, Priority
 from repro.dram.timing import DRAMTimings
+from repro.sim import faults
 from repro.sim.engine import Engine
 
 
@@ -208,19 +209,27 @@ class MemoryDevice:
                      is_demand: bool,
                      on_complete: Optional[Callable[[float], None]]) -> None:
         """Batch-mode single dispatcher: one bounds check, one mapping,
-        then the channel fast path when it is eligible or the queued
-        path when it is not.
+        then the fused fast or queued path in this same frame.
 
         Semantically ``access_fast(...) or access(...)`` — the pattern
-        the batch controller used per op — with the double bounds check
-        and the second address mapping of the fallback removed.  In the
-        queue-bound bench regime most fast-path attempts decline, so the
-        wasted ``access_fast`` call was pure overhead on the hot path.
+        the batch controller used per op — but with the channel's
+        ``submit_fast``/``_submit_turbo`` bodies inlined and queued
+        requests drawn from the channel's recycle pool, so one device op
+        costs zero allocations and at most one further call
+        (``_try_issue_turbo`` when the channel is backlogged).  The
+        metadata channel's 32 B-group interleave (``_access_metadata``'s
+        layout) is resolved here too, which matters for SILC-FM: its
+        remap-entry fetches are roughly one per miss.  Only called on
+        turbo-enabled channels (batch runs); timing, stats, and event
+        order are bit-identical to the scalar path, gated by
+        tests/integration/test_batch_equivalence.py.
         """
-        if (self.metadata_base is None or addr < self.metadata_base) and \
-                0 <= addr and addr + size <= self.capacity_bytes and \
-                addr % CHANNEL_INTERLEAVE_BYTES + size <= CHANNEL_INTERLEAVE_BYTES \
-                and size > 0:
+        engine = self._engine
+        mb = self.metadata_base
+        cap = self.capacity_bytes
+        if (mb is None or addr < mb) and 0 <= addr and addr + size <= cap \
+                and addr % CHANNEL_INTERLEAVE_BYTES + size \
+                <= CHANNEL_INTERLEAVE_BYTES and size > 0:
             nchan = self._nchan
             unit = addr // CHANNEL_INTERLEAVE_BYTES
             within = (unit // nchan * CHANNEL_INTERLEAVE_BYTES
@@ -228,32 +237,112 @@ class MemoryDevice:
             row_bytes = self._row_bytes
             row_index = within // row_bytes
             banks = self._banks_per_ch
-            channel = self.channels[unit % nchan]
-            if (channel._demand_queue or channel._background_queue
-                    or channel._inflight >= channel.pipeline_depth):
-                channel.submit(DRAMRequest(
-                    addr=addr,
-                    size=size,
-                    is_write=is_write,
-                    priority=Priority.DEMAND if is_demand
-                    else Priority.BACKGROUND,
-                    arrival=self._engine.now,
-                    coords=DRAMCoordinates(unit % nchan, row_index % banks,
-                                           row_index // banks,
-                                           within % row_bytes),
-                    on_complete=on_complete,
-                ))
-            else:
-                channel.submit_fast(row_index % banks, row_index // banks,
-                                    size, is_write, is_demand, on_complete)
+            chan_no = unit % nchan
+            channel = self.channels[chan_no]
+            bank_index = row_index % banks
+            row = row_index // banks
+            column = within % row_bytes
+        elif (mb is not None and addr >= mb and addr + size <= cap
+              and size > 0):
+            # dedicated metadata channel: 32 B groups interleaved across
+            # its banks (one congruence set per group; serial scans of a
+            # set stay in one row, hot sets spread across banks).
+            offset = addr - mb
+            group = offset // 32
+            banks = self._banks_per_ch
+            groups_per_row = self._row_bytes // 32
+            chan_no = 0
+            channel = self.meta_channel
+            bank_index = group % banks
+            row = group // banks // groups_per_row
+            column = (group // banks % groups_per_row) * 32 + offset % 32
+        else:
+            # multi-chunk or out-of-range (the existing paths raise the
+            # same errors the scalar engine would)
+            if not self.access_fast(addr, size, is_write, is_demand,
+                                    on_complete):
+                self.access(addr, size, is_write,
+                            Priority.DEMAND if is_demand
+                            else Priority.BACKGROUND,
+                            on_complete)
             return
-        # metadata region, multi-chunk, or out-of-range (the existing
-        # paths raise the same errors the scalar engine would)
-        if not self.access_fast(addr, size, is_write, is_demand,
-                                on_complete):
-            self.access(addr, size, is_write,
-                        Priority.DEMAND if is_demand else Priority.BACKGROUND,
-                        on_complete)
+        dq = channel._demand_queue
+        bq = channel._background_queue
+        if dq or bq or channel._inflight >= channel.pipeline_depth:
+            # queued: pooled request, then ``_submit_turbo`` inline.
+            priority = Priority.DEMAND if is_demand else Priority.BACKGROUND
+            pool = channel._req_pool
+            if pool:
+                request = pool.pop()
+                request.addr = addr
+                request.size = size
+                request.is_write = is_write
+                request.priority = priority
+                request.arrival = engine.now
+                request.coords = DRAMCoordinates(chan_no, bank_index, row,
+                                                 column)
+                request.on_complete = on_complete
+                request.completed_at = -1.0
+            else:
+                request = DRAMRequest(
+                    addr=addr, size=size, is_write=is_write,
+                    priority=priority, arrival=engine.now,
+                    coords=DRAMCoordinates(chan_no, bank_index, row, column),
+                    on_complete=on_complete)
+            (dq if priority == Priority.DEMAND else bq).append(request)
+            depth = len(dq) + len(bq)
+            stats = channel.stats
+            if depth > stats.max_queue_depth:
+                stats.max_queue_depth = depth
+            if channel._inflight < channel.pipeline_depth:
+                channel._try_issue_turbo()
+            return
+        # eligible: ``submit_fast`` inline (Bank.prepare through the
+        # precomputed cpm-scaled turbo latencies — identical floats).
+        stats = channel.stats
+        if stats.max_queue_depth < 1:
+            stats.max_queue_depth = 1
+        now = engine.now
+        if faults.ACTIVE is not None:
+            data_ready = faults.bank_prepare(
+                channel._banks[bank_index], row, now)
+        else:
+            bank = channel._banks[bank_index]
+            ready = bank.ready
+            start = now if now > ready else ready
+            open_row = bank.open_row
+            bank_stats = bank.stats
+            if open_row == row:
+                bank_stats.row_hits += 1
+                cas_at = start
+            elif open_row is None:
+                bank_stats.row_closed += 1
+                bank._activated_at = start
+                cas_at = start + channel._turbo_rcd
+            else:
+                bank_stats.row_conflicts += 1
+                precharge_at = bank._activated_at + channel._turbo_ras
+                if start > precharge_at:
+                    precharge_at = start
+                activate_at = precharge_at + channel._turbo_rp
+                bank._activated_at = activate_at
+                cas_at = activate_at + channel._turbo_rcd
+            bank.open_row = row
+            bank.ready = cas_at + channel._turbo_ccd
+            data_ready = cas_at + channel._turbo_cas
+        bus_free = channel._bus_free
+        data_start = data_ready if data_ready > bus_free else bus_free
+        burst = channel._burst_cpu_cycles.get(size)
+        if burst is None:
+            burst = channel._t.burst_mem_cycles(size) * channel._cpm
+            channel._burst_cpu_cycles[size] = burst
+        completion = data_start + burst
+        channel._bus_free = completion
+        channel._inflight += 1
+        stats.bus_busy_cycles += burst
+        stats.total_queue_wait += data_start - now
+        engine._push(completion, channel._complete_fast_bound,
+                     (size, is_write, is_demand, on_complete))
 
     def _access_metadata(self, addr: int, size: int, is_write: bool,
                          priority: Priority,

@@ -76,7 +76,15 @@ from repro.stats.collectors import geometric_mean
 #: (cells/sec), hot cache-hit throughput and service latency
 #: (p50/p95 ms), dedup hit rate, and the exactly-once/conservation
 #: correctness witnesses the gate hard-fails on.
-BENCH_SCHEMA_VERSION = 6
+#: v7: the payload gained a ``batch_curve`` section — the closed-form
+#: window evaluator (:mod:`repro.sim.window`) swept across
+#: ``batch_window`` sizes (:data:`BENCH_CURVE_WINDOWS`, window 0 being
+#: the scalar reference) over the pinned quick-suite cells, each point
+#: digest-checked against the scalar run.  The regression gate treats a
+#: missing curve against a v7+ baseline as a failure (pre-v7 baselines
+#: skip), so the closed-form column cannot silently drop out of the
+#: bench.
+BENCH_SCHEMA_VERSION = 7
 
 #: pinned seed — throughput comparisons need identical event streams.
 BENCH_SEED = 1234
@@ -94,6 +102,13 @@ BENCH_TAIL_WINDOW = 50_000
 #: the seed: the speedup column is only comparable across checkouts if
 #: every run batches the same way.
 BENCH_BATCH_WINDOW = 256
+
+#: ``batch_window`` sweep for the v7 speedup curve.  Window 0 is the
+#: scalar reference engine (the curve's denominator); the rest exercise
+#: the closed-form evaluator at increasing trace-window sizes.  Pinned
+#: like everything else: the curve is only comparable across checkouts
+#: if every run sweeps the same points.
+BENCH_CURVE_WINDOWS = (0, 256, 1024, 4096)
 
 #: suites are (cell key, scheme, mshr_entries) triples; the key names
 #: the cell in the JSON and stays stable across schema versions.
@@ -154,13 +169,80 @@ class BenchCell:
         return dict(self.__dict__)
 
 
-def run_bench(quick: bool = False,
-              config: Optional[SystemConfig] = None,
-              today: Optional[str] = None) -> Dict:
-    """Run the pinned set; returns the ``BENCH_*.json`` payload."""
+def run_batch_curve(config: Optional[SystemConfig] = None) -> Dict:
+    """The v7 ``batch_window`` speedup curve over the pinned quick-suite
+    cells (both quick and full benches run the same curve definition, so
+    the points are comparable between them).
+
+    Each swept window re-runs every curve cell; every windowed run's
+    ``RunResult`` digest must equal the scalar (window 0) run's — a
+    point is only reported for an engine that proved bit-identity at
+    that window size.  Returns the ``batch_curve`` payload section.
+    """
     import dataclasses
 
     from repro.experiments.runner import run_one
+
+    config = config or default_config()
+    scalar_digests: Dict[tuple, str] = {}
+    points = []
+    scalar_wall = None
+    for window in BENCH_CURVE_WINDOWS:
+        start = time.perf_counter()
+        for workload in QUICK_WORKLOADS:
+            for key, scheme, mshr_entries in QUICK_VARIANTS:
+                cell_config = dataclasses.replace(
+                    config, mshr_entries=mshr_entries, batch_window=window)
+                result = run_one(scheme, workload, cell_config,
+                                 misses_per_core=QUICK_MISSES,
+                                 seed=BENCH_SEED)
+                digest = json.dumps(result.to_dict(), sort_keys=True)
+                if window == 0:
+                    scalar_digests[(key, workload)] = digest
+                elif digest != scalar_digests[(key, workload)]:
+                    raise AssertionError(
+                        f"closed-form evaluator diverged from scalar on "
+                        f"curve cell {key}/{workload} at "
+                        f"batch_window={window}; run the equivalence "
+                        "suite (tests/integration/"
+                        "test_batch_equivalence.py)")
+        wall = time.perf_counter() - start
+        if window == 0:
+            scalar_wall = wall
+        points.append({
+            "batch_window": window,
+            "wall_seconds": round(wall, 4),
+            "speedup": round(scalar_wall / wall, 2) if wall else 0.0,
+        })
+    return {
+        "variants": [key for key, _s, _m in QUICK_VARIANTS],
+        "workloads": list(QUICK_WORKLOADS),
+        "misses_per_core": QUICK_MISSES,
+        "points": points,
+    }
+
+
+def run_bench(quick: bool = False,
+              config: Optional[SystemConfig] = None,
+              today: Optional[str] = None,
+              profile_dir: Optional[Union[str, Path]] = None) -> Dict:
+    """Run the pinned set; returns the ``BENCH_*.json`` payload.
+
+    ``profile_dir`` (the ``--profile`` flag) additionally captures a
+    cProfile of one *untimed* closed-form run per cell, written as
+    ``<key>-<workload>.pstats`` side artifacts — outside the
+    ``perf_counter`` windows, so the reported throughput stays
+    comparable to unprofiled baselines.  Inspect with::
+
+        python -m pstats results/profiles/silc-mcf.pstats
+    """
+    import dataclasses
+
+    from repro.experiments.runner import run_one
+
+    if profile_dir is not None:
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
 
     variants = QUICK_VARIANTS if quick else FULL_VARIANTS
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
@@ -204,6 +286,19 @@ def run_bench(quick: bool = False,
                     f"batch engine diverged from scalar on bench cell "
                     f"{key}/{workload}; run the equivalence suite "
                     "(tests/integration/test_batch_equivalence.py)")
+            if profile_dir is not None:
+                # untimed profiled re-run of the closed-form cell, so
+                # residual evaluator hotspots are measurable instead of
+                # guessed (kept outside the perf_counter windows).
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+                run_one(scheme, workload, batched_config,
+                        misses_per_core=misses, seed=BENCH_SEED)
+                profiler.disable()
+                profiler.dump_stats(
+                    str(profile_dir / f"{key}-{workload}.pstats"))
             tails = {"p95": None, "p99": None}
             if measure_tails:
                 # tail latencies come from a run with span sampling,
@@ -258,6 +353,10 @@ def run_bench(quick: bool = False,
 
     service = run_service_bench(quick=quick)
 
+    # v7: the closed-form evaluator's batch_window speedup curve (same
+    # pinned definition for quick and full runs).
+    batch_curve = run_batch_curve(config)
+
     total_wall = sum(c.wall_seconds for c in cells)
     total_batched_wall = sum(c.batched_wall_seconds for c in cells)
     total_accesses = sum(c.accesses for c in cells)
@@ -288,6 +387,7 @@ def run_bench(quick: bool = False,
         },
         "figures_of_merit": {"speedup_over_nonm": speedups},
         "service": service,
+        "batch_curve": batch_curve,
     }
 
 

@@ -49,21 +49,32 @@ class Level(Enum):
     FM = "fm"
 
 
-@dataclass(frozen=True, slots=True)
 class Op:
     """One device operation: ``size`` bytes at device-local ``addr``.
 
-    Allocation-lean: plain slotted fields, no ``__post_init__`` — a
-    simulation constructs millions of these and the per-op sanity check
-    is hoisted into :meth:`validate`, which the differential oracle
-    (and any test that wants it) calls explicitly.  The devices still
-    bounds-check every access against their capacity, so a malformed op
-    cannot silently corrupt a run even without the oracle."""
+    Allocation-lean: a hand-rolled slotted class rather than a frozen
+    dataclass — a simulation constructs millions of these and the
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per
+    field) was a measurable slice of both engines' plan machinery.
+    Nothing compares or hashes ops, so the generated ``__eq__``/
+    ``__hash__`` are not missed; the per-op sanity check is hoisted
+    into :meth:`validate`, which the differential oracle (and any test
+    that wants it) calls explicitly.  The devices still bounds-check
+    every access against their capacity, so a malformed op cannot
+    silently corrupt a run even without the oracle."""
 
-    level: Level
-    addr: int
-    size: int
-    is_write: bool
+    __slots__ = ("level", "addr", "size", "is_write")
+
+    def __init__(self, level: Level, addr: int, size: int,
+                 is_write: bool) -> None:
+        self.level = level
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+
+    def __repr__(self) -> str:
+        return (f"Op(level={self.level}, addr={self.addr}, "
+                f"size={self.size}, is_write={self.is_write})")
 
     def validate(self) -> "Op":
         """Debug-only sanity check (raises ``ValueError``); returns the
@@ -193,6 +204,33 @@ class MemoryScheme(abc.ABC):
     def epoch_period_cycles(self) -> Optional[float]:
         """Epoch-driven schemes (HMA) return their interval; others None."""
         return None
+
+    def steady_window_certificate(self, now: float) -> float:
+        """Tier-2 steady-state certificate: the engine cycle up to which
+        this scheme guarantees no *timed* state-changing machinery of
+        its own (epoch timers, decay clocks) will fire.
+
+        The closed-form window evaluator (:mod:`repro.sim.window`) runs
+        its fused data plane only for events strictly before this
+        horizon; at or past it, events re-enter the generic Tier-1
+        dispatch and the certificate is re-queried.  Access-driven state
+        changes (swaps, locks, installs, predictor updates) need no
+        certificate — they happen inside :meth:`access`/
+        :meth:`access_fast`, which both tiers call identically.
+
+        The certificate may *under*-shoot (forcing a harmless early
+        re-entry into Tier-1 dispatch) but correctness never depends on
+        it: the evaluator keeps the controller's epoch-stall check
+        inline regardless.  Schemes with no timed machinery return
+        ``inf`` — the whole run is one steady-state window.
+        """
+        period = self.epoch_period_cycles()
+        if period is None:
+            return float("inf")
+        # Next epoch boundary by division.  The controller's timer chain
+        # accumulates ``now + period`` floats, so division can only
+        # *under*-estimate the true event time — the safe direction.
+        return (now // period + 1.0) * period
 
     def epoch(self) -> Tuple[List[Op], float]:
         """Run one epoch: returns (migration traffic, OS stall cycles)."""

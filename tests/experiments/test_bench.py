@@ -84,7 +84,9 @@ def _shrink_quick_suite(monkeypatch):
 def test_quick_run_makes_no_tail_pass(monkeypatch):
     """The fixed bug: --quick used to re-run every cell span-sampled
     even with span_sample_rate=0 inherited from the config.  A quick
-    cell must now run exactly twice: scalar + batched twin."""
+    cell must now run exactly twice (scalar + batched twin) plus one
+    run per closed-form curve window — never a span-sampled pass."""
+    import repro.experiments.bench as bench
     import repro.experiments.runner as runner
 
     _shrink_quick_suite(monkeypatch)
@@ -97,7 +99,7 @@ def test_quick_run_makes_no_tail_pass(monkeypatch):
 
     monkeypatch.setattr(runner, "run_one", counting)
     run_bench(quick=True, config=default_config(scale=0.25))
-    assert len(calls) == 2
+    assert len(calls) == 2 + len(bench.BENCH_CURVE_WINDOWS)
     assert all(rate == 0 for rate in calls)
 
 
@@ -166,6 +168,23 @@ def test_bench_refuses_diverged_batch_engine(monkeypatch):
     with pytest.raises(AssertionError, match="diverged"):
         run_bench(quick=True, config=default_config(scale=0.25))
     assert calls == [0, 256]
+
+
+def test_payload_batch_curve(quick_payload):
+    """Schema v7: the closed-form speedup curve is swept over the
+    pinned windows, anchored at the scalar point (w=0, speedup 1.0),
+    with every point carrying a positive wall time."""
+    from repro.experiments.bench import BENCH_CURVE_WINDOWS
+
+    curve = quick_payload["batch_curve"]
+    assert curve["workloads"] == QUICK_WORKLOADS
+    assert curve["variants"] == [key for key, _, _ in QUICK_VARIANTS]
+    points = {p["batch_window"]: p for p in curve["points"]}
+    assert sorted(points) == sorted(BENCH_CURVE_WINDOWS)
+    assert points[0]["speedup"] == 1.0
+    for point in curve["points"]:
+        assert point["wall_seconds"] > 0
+        assert point["speedup"] > 0
 
 
 def test_payload_figures_of_merit(quick_payload):

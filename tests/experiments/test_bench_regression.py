@@ -13,7 +13,7 @@ from check_bench_regression import main  # noqa: E402
 
 
 def _payload(rates, total, tails=None, batched=None, batched_total=None,
-             fom=None, service=None):
+             fom=None, service=None, curve=None):
     cells = []
     for (key, wl), rate in rates.items():
         cell = {"key": key, "scheme": key.split("-")[0], "workload": wl,
@@ -34,6 +34,8 @@ def _payload(rates, total, tails=None, batched=None, batched_total=None,
         payload["figures_of_merit"] = {"speedup_over_nonm": fom}
     if service is not None:
         payload["service"] = service
+    if curve is not None:
+        payload["batch_curve"] = curve
     return payload
 
 
@@ -377,3 +379,83 @@ def test_new_service_section_without_baseline_is_a_note(tmp_path, capsys):
                  _payload(BASE, 15000.0, service=_service()))
     assert main([base, cur]) == 0
     assert "new service cold phase" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# closed-form window-curve gate (schema v7)
+# ----------------------------------------------------------------------
+def _curve(speedups):
+    return {
+        "variants": ["nonm", "silc", "silc-compat"],
+        "workloads": ["mcf"],
+        "misses_per_core": 1500,
+        "points": [{"batch_window": window, "wall_seconds": 1.0,
+                    "speedup": speedup}
+                   for window, speedup in speedups.items()],
+    }
+
+
+def test_curve_within_threshold_passes(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40, 1024: 1.45})))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.25, 1024: 1.50})))
+    assert main([base, cur]) == 0
+    assert "batch_curve w=256: 1.40x -> 1.25x" in capsys.readouterr().out
+
+
+def test_curve_point_regression_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40, 1024: 1.45})))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40, 1024: 1.00})))
+    assert main([base, cur]) == 1
+    assert "curve:w1024" in capsys.readouterr().err
+
+
+def test_curve_section_dropped_fails(tmp_path, capsys):
+    """Like the batched column: once the baseline measures the
+    closed-form curve, a current run without one is a failure."""
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40})))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0))
+    assert main([base, cur]) == 1
+    assert "curve:missing" in capsys.readouterr().err
+
+
+def test_curve_missing_window_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40, 4096: 1.50})))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40})))
+    assert main([base, cur]) == 1
+    captured = capsys.readouterr()
+    assert "curve:w4096" in captured.err
+    assert "missing" in captured.out
+
+
+def test_pre_v7_baselines_skip_curve_gate(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(BASE, 15000.0))
+    assert main([base, cur]) == 0
+    assert "closed-form gate skipped" in capsys.readouterr().out
+
+
+def test_new_curve_without_baseline_is_a_note(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _payload(BASE, 15000.0))
+    cur = _write(tmp_path, "cur.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40})))
+    assert main([base, cur]) == 0
+    assert "new batch_curve section" in capsys.readouterr().out
+
+
+def test_curve_improvement_and_tighter_threshold(tmp_path):
+    base = _write(tmp_path, "base.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.40})))
+    better = _write(tmp_path, "better.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 2.80})))
+    assert main([base, better]) == 0
+    slightly_off = _write(tmp_path, "off.json", _payload(
+        BASE, 15000.0, curve=_curve({256: 1.20})))   # ~14% drop
+    assert main([base, slightly_off]) == 0           # default 25% gate
+    assert main([base, slightly_off, "--threshold", "0.1"]) == 1

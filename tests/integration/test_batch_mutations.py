@@ -1,17 +1,25 @@
 """Mutation self-tests: prove the differential harness has teeth.
 
 A harness asserting scalar == batched proves nothing if it would also
-pass with a broken batch engine.  Here three deliberate, realistic
+pass with a broken batch engine.  Here six deliberate, realistic
 batch-path bugs are planted behind the test-only hook in
-:mod:`repro.sim.faults` — a window-boundary off-by-one in the trace
-generator, a dropped row-buffer close, and a stale bank busy-until time
-in the channel fast path — and each must make the equivalence check
-FAIL.  The scalar reference never consults the fault hook, so any
-surviving mutant means the harness lost its sensitivity to that class
-of bug.
+:mod:`repro.sim.faults` — three in the original batch data plane (a
+window-boundary off-by-one in the trace generator, a dropped row-buffer
+close, and a stale bank busy-until time in the channel fast path) and
+three in the closed-form window evaluator's transcriptions (a dropped
+epoch-stall check, a lost MSHR read-coalesce lookup, and a forgotten
+issue-width division) — and each must make the equivalence check FAIL.
+The scalar reference never consults the fault hook, so any surviving
+mutant means the harness lost its sensitivity to that class of bug.
+
+Each fault runs against a configuration that actually exercises its
+hook site: ``cf-stall-skip`` lives inside an HMA epoch-stall window, so
+it gets the one scheme with epochs and a run long enough to cross
+several boundaries; the rest fire on every SILC-FM miss stream.
 """
 
 import dataclasses
+import functools
 import json
 
 import pytest
@@ -24,20 +32,39 @@ SEED = 7
 MISSES = 300
 BATCH_WINDOW = 64
 
+#: fault -> (scheme, misses_per_core, mshr_entries) whose run exercises
+#: the hook site.  ``cf-stall-skip`` needs compat mode (``mshr 0``): at
+#: the MLP-default file a full MSHR routes every dispatch through the
+#: pending-queue drain — the *un*-transcribed ``handle_request`` — so
+#: the evaluator's inline stall check (where the bug is planted) would
+#: never run.
+CASES = {fault: ("silc", MISSES, 8) for fault in faults.KNOWN}
+CASES["cf-stall-skip"] = ("hma", 4000, 0)
 
-def _run_json(batch_window: int) -> str:
+
+def _run_json(scheme: str, batch_window: int, misses: int,
+              mshr: int) -> str:
     config = dataclasses.replace(
         default_config(0.25), seed=SEED, batch_window=batch_window,
-        mshr_entries=8)
-    result = run_one("silc", "mcf", config, misses_per_core=MISSES)
+        mshr_entries=mshr)
+    result = run_one(scheme, "mcf", config, misses_per_core=misses)
     return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@functools.lru_cache(maxsize=None)
+def _scalar_json(scheme: str, misses: int, mshr: int) -> str:
+    """Fault-free scalar baselines, shared across the parametrized
+    cases (the fault hook is never consulted on the scalar path, so
+    caching cannot leak an injected fault into a baseline)."""
+    return _run_json(scheme, 0, misses, mshr)
 
 
 @pytest.mark.parametrize("fault", faults.KNOWN)
 def test_planted_fault_trips_the_equivalence_check(fault):
-    scalar = _run_json(0)
+    scheme, misses, mshr = CASES[fault]
+    scalar = _scalar_json(scheme, misses, mshr)
     with faults.inject(fault):
-        mutated = _run_json(BATCH_WINDOW)
+        mutated = _run_json(scheme, BATCH_WINDOW, misses, mshr)
     assert mutated != scalar, (
         f"planted fault {fault!r} survived the equivalence check — the "
         "differential harness cannot detect this bug class")
@@ -46,10 +73,10 @@ def test_planted_fault_trips_the_equivalence_check(fault):
 def test_fault_free_rerun_recovers_equivalence():
     """The fault hook must leave no residue: after a mutated run, a
     clean batched run is byte-identical to scalar again."""
-    scalar = _run_json(0)
+    scalar = _scalar_json("silc", MISSES, 8)
     with faults.inject(faults.KNOWN[0]):
-        _run_json(BATCH_WINDOW)
-    assert _run_json(BATCH_WINDOW) == scalar
+        _run_json("silc", BATCH_WINDOW, MISSES, 8)
+    assert _run_json("silc", BATCH_WINDOW, MISSES, 8) == scalar
 
 
 def test_inject_rejects_unknown_and_nested_faults():

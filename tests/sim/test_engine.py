@@ -251,3 +251,122 @@ def test_step_interleaves_with_run():
     assert engine.step() is True
     engine.run()
     assert order == ["a", "b", "c"]
+
+
+# ---------------------------------------------------------------------------
+# edge semantics the two-tier clock leans on: free-list recycling bound,
+# integer-timestamp preservation, and the horizon/checkpoint/resume API
+# ---------------------------------------------------------------------------
+def test_free_list_recycling_is_bounded():
+    """A burst of queued events beyond _FREE_LIST_CAP must not pin
+    entry lists forever: the free list never exceeds the cap."""
+    from repro.sim.engine import _FREE_LIST_CAP
+
+    engine = Engine()
+    burst = _FREE_LIST_CAP + 500
+    for _ in range(burst):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_dispatched == burst
+    assert len(engine._free) <= _FREE_LIST_CAP
+    # and the recycled entries are actually reused: scheduling a second
+    # burst drains the free list instead of allocating
+    before = len(engine._free)
+    for _ in range(before):
+        engine.schedule(1, lambda: None)
+    assert len(engine._free) == 0
+
+
+def test_recycled_entries_do_not_leak_between_events():
+    """An entry recycled mid-run carries no stale callback/args: every
+    dispatch sees exactly the payload scheduled for it."""
+    engine = Engine()
+    seen = []
+    # chain long enough to cycle through the same recycled entries
+    def tick(n):
+        seen.append(n)
+        if n < 50:
+            engine.schedule(1, tick, n + 1)
+
+    engine.schedule(1, tick, 0)
+    engine.run()
+    assert seen == list(range(51))
+
+
+def test_integer_timestamps_survive_int_only_chains():
+    """The engine never coerces timestamps: an int-anchored chain
+    (``schedule_at`` an int, then int delays — ``now`` stays int inside
+    the chain) keeps exact integer arithmetic even past 2**53, where
+    consecutive integers stop being representable as floats."""
+    engine = Engine()
+    big = 2 ** 53
+    times = []
+
+    def tick():
+        times.append(engine.now)
+        if len(times) < 3:
+            engine.schedule(1, tick)  # int + int: stays int
+
+    engine.schedule_at(big, tick)
+    engine.run()
+    assert times == [big, big + 1, big + 2]
+    assert all(isinstance(t, int) for t in times)
+    # the float chain would have collapsed: big+1.0 rounds back to big
+    assert float(big) + 1.0 == float(big)
+
+
+def test_horizon_empty_queue_is_infinite():
+    import math
+
+    engine = Engine()
+    assert engine.horizon() == math.inf
+    engine.schedule(5, lambda: None)
+    engine.run()
+    assert engine.horizon() == math.inf
+
+
+def test_horizon_reports_earliest_event_and_ties_at_now():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.schedule(3, lambda: None)
+    assert engine.horizon() == 3
+
+    # an event scheduled exactly at now is part of the horizon:
+    # horizon() == now means this cycle still has undispatched work
+    engine2 = Engine()
+    probe = []
+
+    def at_now():
+        engine2.schedule(0, lambda: None)
+        probe.append(engine2.horizon())
+
+    engine2.schedule(7, at_now)
+    engine2.run()
+    assert probe == [7.0]
+
+
+def test_checkpoint_resume_protocol():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    now, seq, dispatched = engine.checkpoint()
+    assert (now, dispatched) == (0.0, 0)
+
+    engine.resume_at(40.0)  # within the horizon: clock moves, no dispatch
+    assert engine.now == 40.0
+    assert engine.events_dispatched == 0
+    # dispatch counts attribute to the window via checkpoint deltas
+    engine.run()
+    assert engine.events_dispatched - dispatched == 1
+
+
+def test_resume_at_rejects_backwards_and_past_horizon():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.resume_at(5.0)
+    with pytest.raises(SimulationError):
+        engine.resume_at(4.0)  # backwards
+    with pytest.raises(SimulationError):
+        engine.resume_at(10.5)  # past the queued Tier-1 event
+    # exactly at the horizon is legal (the event has not been skipped)
+    engine.resume_at(10.0)
+    assert engine.now == 10.0
