@@ -20,7 +20,10 @@ invariants and exits non-zero if any fails:
   ``run_one`` of the same cell, canonical-JSON for canonical-JSON.
 
 Then it prints the throughput figures (cells/sec end to end, dedup hit
-rate, cache-hit latency percentiles).
+rate, cache-hit latency percentiles).  ``--report PATH`` additionally
+writes them as a machine-readable JSON artifact — throughput, dedup
+rate, latency snapshot, and one boolean per witness — which CI archives
+and asserts on.
 
 By default the script starts a private in-process service on an
 ephemeral port with a temporary cache directory, so it is self-contained
@@ -130,6 +133,9 @@ def main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the in-process service")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write a machine-readable JSON report of the"
+                             " throughput figures and witness outcomes")
     args = parser.parse_args(argv)
 
     external = args.host is not None
@@ -178,25 +184,35 @@ def main(argv=None) -> int:
                      sample_cell.config,
                      misses_per_core=sample_cell.misses_per_core,
                      seed=sample_cell.seed)
+    witnesses = {
+        "exactly_once": stats["max_executions_per_key"] <= 1,
+        "conservation":
+            stats["cells"]["completed"] == sum(by_source.values()),
+        "fan_out": fanned_out,
+        "byte_identical":
+            json.dumps(outcomes[sample_tenant].results[sample_index],
+                       sort_keys=True)
+            == json.dumps(direct.to_dict(), sort_keys=True),
+    }
+    if not external:  # a fresh cache means every unique key simulates
+        witnesses["unique_executions"] = (
+            stats["unique_simulated"] == len(unique_keys))
     ok = True
-    ok &= check(stats["max_executions_per_key"] <= 1,
+    ok &= check(witnesses["exactly_once"],
                 "exactly-once: no key executed twice "
                 f"(max={stats['max_executions_per_key']})")
-    if not external:  # a fresh cache means every unique key simulates
-        ok &= check(stats["unique_simulated"] == len(unique_keys),
+    if not external:
+        ok &= check(witnesses["unique_executions"],
                     f"exactly-once: {stats['unique_simulated']} executions"
                     f" for {len(unique_keys)} unique cells")
-    ok &= check(stats["cells"]["completed"] == sum(by_source.values()),
+    ok &= check(witnesses["conservation"],
                 "conservation: completed == cache + simulated + dedup "
                 f"({stats['cells']['completed']} == {by_source})")
-    ok &= check(fanned_out,
+    ok &= check(witnesses["fan_out"],
                 f"fan-out: all {len(outcomes)} tenants got full results")
-    ok &= check(
-        json.dumps(outcomes[sample_tenant].results[sample_index],
-                   sort_keys=True)
-        == json.dumps(direct.to_dict(), sort_keys=True),
-        f"byte-identical: tenant-{sample_tenant} cell {sample_index} "
-        "matches a solo run_one")
+    ok &= check(witnesses["byte_identical"],
+                f"byte-identical: tenant-{sample_tenant} cell "
+                f"{sample_index} matches a solo run_one")
 
     # ---- throughput ---------------------------------------------------
     latency = stats["cache_hit_latency"]
@@ -209,6 +225,35 @@ def main(argv=None) -> int:
         print(f"cache-hit latency: p50 {latency['p50_ms']:.2f} ms, "
               f"p95 {latency['p95_ms']:.2f} ms over {latency['count']}"
               " samples")
+
+    if args.report is not None:
+        report = {
+            "schema": 1,
+            "ok": bool(ok),
+            "plan": {
+                "tenants": args.tenants,
+                "cells_per_tenant": args.cells_per_tenant,
+                "pool": len(pool),
+                "submitted": submitted,
+                "unique_cells": len(unique_keys),
+                "overlap": round(overlap, 4),
+                "external": external,
+            },
+            "throughput": {
+                "wall_seconds": round(wall, 3),
+                "cells_per_second": round(submitted / wall, 3),
+            },
+            "dedup": {
+                "hit_rate": stats["dedup_hit_rate"],
+                "by_source": by_source,
+            },
+            "cache_hit_latency": latency,
+            "witnesses": witnesses,
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report: {args.report}")
     return 0 if ok else 1
 
 

@@ -14,6 +14,7 @@ Commands
 ``analyze``  latency-attribution report from a telemetry artifact
 ``serve``    long-running multi-tenant sweep service (asyncio, TCP)
 ``submit``   submit a compare-style sweep to a running service
+``top``      live terminal dashboard over a running service's telemetry
 
 ``compare``, ``figure`` and ``report`` fan their (scheme x workload)
 cells out over ``--jobs N`` worker processes and memoise each cell in an
@@ -51,6 +52,13 @@ Examples::
 ``serve`` keeps one shared result cache and single-flight dedup table
 across every client: identical cells submitted by different tenants
 simulate once and fan out to all of them (docs/service.md).
+
+Observability (docs/observability.md): the global ``--log-level`` /
+``--log-file`` flags turn on structured JSON-lines logging for any
+command (worker processes inherit the setting); ``serve
+--metrics-port`` exposes Prometheus ``/metrics`` + ``/healthz`` over
+HTTP and ``serve --trace-dir`` journals every job and cell so ``trace
+--service`` can stitch a cross-process fleet trace for Perfetto.
 """
 
 from __future__ import annotations
@@ -138,10 +146,19 @@ def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.obs import log as obs_log
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SILC-FM (HPCA 2017) flat-memory simulator",
     )
+    parser.add_argument(
+        "--log-level", choices=sorted(obs_log.LEVELS), default=None,
+        help="structured JSON-lines log threshold (default warning;"
+             " worker processes inherit the setting)")
+    parser.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured log records to PATH instead of stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one scheme on one benchmark")
@@ -192,10 +209,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("suite", help="list the Table III benchmark presets")
 
     trace_p = sub.add_parser(
-        "trace", help="write a workload trace file, or (with --scheme) a"
-                      " Chrome-format event trace of a simulated run")
-    trace_p.add_argument("benchmark", choices=BENCHMARKS)
-    trace_p.add_argument("path")
+        "trace", help="write a workload trace file, (with --scheme) a"
+                      " Chrome-format event trace of a simulated run, or"
+                      " (with --service) a stitched fleet trace from a"
+                      " service trace directory")
+    trace_p.add_argument(
+        "benchmark", nargs="?", default=None,
+        help=f"one of {', '.join(BENCHMARKS)} (omitted with --service)")
+    trace_p.add_argument(
+        "path", nargs="?", default=None,
+        help="output file (with --service: the stitched fleet trace)")
+    trace_p.add_argument(
+        "--service", default=None, metavar="DIR",
+        help="stitch the fleet-trace journal a 'serve --trace-dir DIR'"
+             " run wrote (tenant->job->cell->worker flows, one Perfetto"
+             " file) instead of generating a trace")
     trace_p.add_argument("--misses", type=int, default=20_000)
     trace_p.add_argument("--seed", type=int, default=1)
     trace_p.add_argument(
@@ -254,6 +282,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-interval", type=float, default=1.0, metavar="SECONDS",
         help="windowed telemetry emission interval (default 1.0; "
              "0 disables)")
+    serve_p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus /metrics and /healthz over HTTP on this"
+             " port (0 = ephemeral; default: no HTTP listener)")
+    serve_p.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="journal every job/cell and collect per-cell worker span"
+             " files under DIR; stitch with 'repro trace --service DIR"
+             " out.json' (default: tracing off)")
     _add_executor_flags(serve_p)
 
     submit_p = sub.add_parser(
@@ -273,6 +310,15 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_check_flags(submit_p)
     _add_mshr_flag(submit_p)
     _add_batch_flag(submit_p)
+
+    top_p = sub.add_parser(
+        "top", help="live terminal dashboard over a running service"
+                    " (throughput, source mix, queue depth, latency)")
+    top_p.add_argument("--host", default="127.0.0.1")
+    top_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    top_p.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="exit after N telemetry windows (default: run until ^C)")
     return parser
 
 
@@ -498,6 +544,28 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.service is not None:
+        from repro.obs.trace import write_fleet_trace
+
+        # with --service the single positional is the output file; it
+        # may have landed in either slot
+        out = args.path or args.benchmark or "fleet-trace.json"
+        try:
+            summary = write_fleet_trace(args.service, out)
+        except (OSError, ValueError) as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"stitched {summary['tenants']} tenant(s), "
+              f"{summary['jobs']} job(s), {summary['cells']} cell(s), "
+              f"{summary['worker_spans']} worker span(s) -> {out}; "
+              "open in Perfetto or chrome://tracing")
+        return 0
+    if args.benchmark not in BENCHMARKS:
+        raise SystemExit(
+            f"trace: benchmark must be one of {', '.join(BENCHMARKS)}"
+            " (or pass --service DIR)")
+    if args.path is None:
+        raise SystemExit("trace: output path required")
     config = default_config()
     if args.scheme is not None:
         from repro.telemetry import run_metadata, write_trace
@@ -579,6 +647,8 @@ def _cmd_serve(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         force=args.force,
         telemetry_interval=args.telemetry_interval,
+        metrics_port=args.metrics_port,
+        trace_dir=args.trace_dir,
     )
 
     async def _serve() -> None:
@@ -587,6 +657,14 @@ def _cmd_serve(args) -> int:
               f"({service.jobs} workers, cache="
               f"{'off' if service.core.cache is None else service.core.cache.root})",
               flush=True)
+        if service.metrics_http_port is not None:
+            print(f"metrics on http://{service.host}:"
+                  f"{service.metrics_http_port}/metrics (+ /healthz)",
+                  flush=True)
+        if service.journal is not None:
+            print(f"fleet trace journal in {service.journal.root}/ "
+                  f"(stitch with 'python -m repro trace --service "
+                  f"{service.journal.root} fleet.json')", flush=True)
         await service.run_until_shutdown()
 
     try:
@@ -644,6 +722,22 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+    from repro.service import ServiceError
+
+    try:
+        return run_top(args.host, args.port, frames=args.frames)
+    except (ConnectionError, OSError) as exc:
+        print(f"top: cannot reach the service at {args.host}:{args.port}"
+              f" ({exc}); start one with 'python -m repro serve'",
+              file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_analyze(args) -> int:
     from repro.telemetry.analyze import AnalyzeError, analyze
 
@@ -657,6 +751,11 @@ def _cmd_analyze(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.log_level is not None or args.log_file is not None:
+        from repro.obs import log as obs_log
+
+        obs_log.configure(level=args.log_level or "warning",
+                          path=args.log_file)
     handler = {
         "run": _cmd_run,
         "compare": _cmd_compare,
@@ -669,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

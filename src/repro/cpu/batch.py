@@ -140,6 +140,12 @@ class BatchFlatMemoryController(FlatMemoryController):
         #: recycled transactions for the compatibility front door
         #: (``mshr_entries = 0``; with an MSHR file the file owns them).
         self._pool: List[MemoryRequest] = []
+        #: fast-shape consult outcome counters (two-tier clock
+        #: attribution: the per-scheme decline rate is
+        #: ``declined / (accepted + declined)``).  Pure observation —
+        #: incremented outside the simulated timeline, never read by it.
+        self.fast_accepted = 0
+        self.fast_declined = 0
 
     # ------------------------------------------------------------------
     def handle_miss(self, paddr: int, is_write: bool, pc: int,
@@ -223,6 +229,7 @@ class BatchFlatMemoryController(FlatMemoryController):
         fast = self.scheme.access_fast(txn.paddr, txn.is_write, txn.pc)
         stats = self.stats
         if fast is not None:
+            self.fast_accepted += 1
             is_nm, addr, size, op_write = fast
             if is_nm:
                 stats.demand_nm_bytes += size
@@ -241,6 +248,7 @@ class BatchFlatMemoryController(FlatMemoryController):
         mirroring the scalar ``handle_request`` step for step.  Split
         out so the closed-form evaluator (which inlines the accepted
         shape) can call the cold half directly."""
+        self.fast_declined += 1
         plan = self.scheme.access(txn.paddr, txn.is_write, txn.pc)
         txn.plan = plan
         txn.stages = plan.stages

@@ -316,10 +316,25 @@ def execute_cell_payload(cell: Cell) -> Tuple[Optional[Dict], Optional[str]]:
     the caller deserialises through exactly the same code as a cache
     hit: one canonical representation everywhere.
     """
+    from repro.obs import log as _obslog
+
+    # workers under the spawn start method re-import in a fresh
+    # interpreter; the parent's CLI logging choice rides the
+    # REPRO_LOG_LEVEL / REPRO_LOG_FILE environment
+    _obslog.configure_from_env()
+    _wlog = _obslog.get_logger("repro.worker")
+    _wlog.debug("cell_started", scheme=cell.scheme_key,
+                workload=cell.workload_name)
     try:
-        return _execute_cell(cell).to_dict(), None
+        result = _execute_cell(cell).to_dict(), None
     except Exception:
-        return None, traceback.format_exc()
+        error = traceback.format_exc()
+        _wlog.error("cell_failed", scheme=cell.scheme_key,
+                    workload=cell.workload_name, error=error[:2000])
+        return None, error
+    _wlog.debug("cell_finished", scheme=cell.scheme_key,
+                workload=cell.workload_name)
+    return result
 
 
 def _worker(payload: Tuple[int, Cell]) -> Tuple[int, Optional[Dict], Optional[str]]:

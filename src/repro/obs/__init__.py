@@ -1,0 +1,23 @@
+"""Fleet-grade observability for the repro stack.
+
+Four pillars (see docs/observability.md):
+
+- :mod:`repro.obs.log` — structured JSON-lines logging with bound
+  context fields (tenant / job / cell key / worker pid).
+- :mod:`repro.obs.metrics` — a process-local metrics registry with
+  Prometheus text exposition and a minimal in-tree parser.
+- :mod:`repro.obs.trace` — cross-process trace stitching: trace-context
+  propagation through the sweep service into pool workers, per-cell
+  Perfetto span side artifacts, and a stitcher that merges
+  tenant -> job -> cell -> worker into one fleet trace.
+- :mod:`repro.obs.http` — an optional lightweight HTTP listener
+  exposing ``/metrics`` and ``/healthz`` next to the NDJSON service.
+
+Only the dependency-free pillars (log, metrics) are imported eagerly;
+``trace``, ``http``, and ``top`` are imported on demand to keep import
+cycles out of the worker processes.
+"""
+
+from repro.obs import log, metrics
+
+__all__ = ["log", "metrics"]

@@ -1,0 +1,119 @@
+"""Lightweight asyncio HTTP listener for ``/metrics`` and ``/healthz``.
+
+Deliberately tiny: GET-only, HTTP/1.0 close semantics, no routing
+framework.  It exists so a fleet scraper (Prometheus, a load balancer
+health check, or the CI smoke job) can observe a running
+``python -m repro serve`` without speaking the NDJSON protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import log
+from repro.obs.metrics import CONTENT_TYPE, MetricsRegistry
+
+_log = log.get_logger("repro.obs.http")
+
+_MAX_REQUEST_BYTES = 16384
+
+
+class ObsHTTPServer:
+    """Serves the registry exposition and a JSON health payload."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        healthz: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.healthz = healthz
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.time()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self._started = time.time()
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        _log.info("metrics_http_listening", host=self.host, port=self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _health_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+        if self.healthz is not None:
+            try:
+                payload.update(self.healthz())
+            except Exception as exc:
+                payload["status"] = "degraded"
+                payload["error"] = str(exc)
+        return payload
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, asyncio.TimeoutError):
+            writer.close()
+            return
+        if len(request) > _MAX_REQUEST_BYTES:
+            await self._respond(writer, 400, "text/plain; charset=utf-8", "request too large\n")
+            return
+        line = request.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = line.split()
+        if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+            await self._respond(writer, 405, "text/plain; charset=utf-8", "method not allowed\n")
+            return
+        path = parts[1].split("?", 1)[0]
+        head_only = parts[0] == "HEAD"
+        if path == "/metrics":
+            await self._respond(writer, 200, CONTENT_TYPE, self.registry.render(), head_only)
+        elif path == "/healthz":
+            body = json.dumps(self._health_payload(), sort_keys=True) + "\n"
+            await self._respond(writer, 200, "application/json; charset=utf-8", body, head_only)
+        else:
+            await self._respond(writer, 404, "text/plain; charset=utf-8", "not found\n", head_only)
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: str,
+        head_only: bool = False,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Error"
+        )
+        payload = body.encode("utf-8")
+        header = (
+            "HTTP/1.0 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, reason, content_type, len(payload))
+        )
+        try:
+            writer.write(header.encode("latin-1") + (b"" if head_only else payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()

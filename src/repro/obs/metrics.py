@@ -1,0 +1,370 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Implements the subset of the Prometheus client data model the fleet
+needs — counters, gauges (including collect-time callback gauges), and
+cumulative histograms — plus:
+
+- :meth:`MetricsRegistry.render` producing text exposition format 0.0.4
+  (the format scraped from ``/metrics`` and returned by the ``metrics``
+  protocol verb), and
+- :func:`parse_exposition`, a minimal in-tree parser for the same
+  format, used by the golden tests and the CI witness assertions so the
+  scrape contract is checked without any external client library.
+
+All mutation and rendering is guarded by a single registry lock, so a
+server thread can render while worker callbacks increment.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Latency buckets (seconds) sized for cache-hit service latency: sub-ms
+# memo hits through multi-second cold simulations.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric definition, usage, or exposition text."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError("invalid metric name: %r" % (name,))
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _format_value(bound)
+
+
+def _label_pairs(labelnames: Sequence[str], labels: Dict[str, str]) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise MetricError(
+            "label mismatch: expected %r, got %r" % (tuple(labelnames), tuple(sorted(labels)))
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames: Sequence[str], values: Sequence[str], extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (name, _escape_label_value(value))
+        for name, value in zip(labelnames, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str], lock: threading.Lock):
+        self.name = _check_name(name)
+        self.help = help
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError("invalid label name: %r" % (label,))
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = lock
+
+    def _header(self) -> List[str]:
+        return [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ]
+
+    def _render_locked(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally partitioned by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames, lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise MetricError("counter %s cannot decrease" % self.name)
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render_locked(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(self.labelnames, key), _format_value(self._values[key]))
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """Point-in-time value; either set explicitly or collected via callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames, lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        self._functions: Dict[Tuple[str, ...], Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_function(self, fn: Callable[[], float], **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._functions[key] = fn
+
+    def value(self, **labels: str) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            fn = self._functions.get(key)
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render_locked(self) -> List[str]:
+        samples: Dict[Tuple[str, ...], float] = dict(self._values)
+        for key, fn in self._functions.items():
+            try:
+                samples[key] = float(fn())
+            except Exception:
+                samples[key] = float("nan")
+        lines = self._header()
+        for key in sorted(samples):
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(self.labelnames, key), _format_value(samples[key]))
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative histogram with inclusive upper bounds (``le``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, buckets, lock):
+        super().__init__(name, help, (), lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError("histogram %s needs at least one bucket" % name)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError("histogram %s buckets must be sorted and unique" % name)
+        if bounds[-1] == math.inf:
+            bounds = bounds[:-1]
+        self.bounds: Tuple[float, ...] = bounds
+        self._counts: List[int] = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            counts = list(self._counts)
+            total, acc = self._count, self._sum
+        out: Dict[str, float] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out[_format_le(bound)] = float(running)
+        out["+Inf"] = float(total)
+        out["sum"] = acc
+        out["count"] = float(total)
+        return out
+
+    def _render_locked(self) -> List[str]:
+        lines = self._header()
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            lines.append(
+                '%s_bucket{le="%s"} %s' % (self.name, _format_le(bound), _format_value(running))
+            )
+        lines.append('%s_bucket{le="+Inf"} %s' % (self.name, _format_value(self._count)))
+        lines.append("%s_sum %s" % (self.name, _format_value(self._sum)))
+        lines.append("%s_count %s" % (self.name, _format_value(self._count)))
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics sharing one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise MetricError("duplicate metric name: %r" % (metric.name,))
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labelnames, self._lock))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labelnames, self._lock))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets, self._lock))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            with self._lock:
+                lines.extend(metric._render_locked())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _canonical_sample_name(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    body = ",".join('%s="%s"' % (k, labels[k]) for k in sorted(labels))
+    return "%s{%s}" % (name, body)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse Prometheus text exposition into ``{sample_name: value}``.
+
+    Sample names are canonicalised with labels sorted by key, e.g.
+    ``repro_cells_completed_total{source="cache"}``, so lookups do not
+    depend on the producer's label order.  Raises :class:`MetricError`
+    on any malformed non-comment line — this is the strictness the
+    golden test relies on.
+    """
+    samples: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise MetricError("malformed exposition line: %r" % (raw,))
+        labels: Dict[str, str] = {}
+        label_body = match.group("labels")
+        if label_body:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_body):
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                consumed = pair.end()
+            rest = label_body[consumed:].strip().strip(",")
+            if rest:
+                raise MetricError("malformed labels in line: %r" % (raw,))
+        value_text = match.group("value")
+        try:
+            if value_text == "+Inf":
+                value = math.inf
+            elif value_text == "-Inf":
+                value = -math.inf
+            else:
+                value = float(value_text)
+        except ValueError:
+            raise MetricError("malformed value in line: %r" % (raw,))
+        samples[_canonical_sample_name(match.group("name"), labels)] = value
+    return samples
+
+
+def sample_value(samples: Dict[str, float], name: str,
+                 default: Optional[float] = None,
+                 **labels: str) -> float:
+    """Look up a parsed sample by metric name and labels.
+
+    A labelled counter that was never incremented has no sample at all
+    in the exposition; pass ``default`` to treat that as a value (the
+    conventional choice is ``0``) instead of an error.
+    """
+    key = _canonical_sample_name(name, {k: str(v) for k, v in labels.items()})
+    if key not in samples:
+        if default is not None:
+            return default
+        raise MetricError("no sample %r in exposition" % (key,))
+    return samples[key]

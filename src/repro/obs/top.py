@@ -1,0 +1,99 @@
+"""``repro top`` — a live terminal monitor for a running sweep service.
+
+Subscribes to the service's ``watch`` stream and redraws a compact
+dashboard on every windowed telemetry event: throughput, source mix,
+queue depth, job counters, and cache-hit latency percentiles (polled
+from ``stats`` alongside each frame).  Pure NDJSON client — no curses,
+no external dependencies; the screen is repainted with ANSI clear codes
+only when stdout is a TTY, so piping ``repro top`` into a file yields
+one parseable text frame per window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import IO, Optional
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_frame(telemetry: dict, stats: dict) -> str:
+    """One dashboard frame from a ``telemetry`` event plus the most
+    recent ``stats`` response (separated so tests can render without a
+    live service)."""
+    window = telemetry.get("window", {})
+    totals = telemetry.get("totals", {})
+    cells = stats.get("cells", {})
+    by_source = cells.get("by_source", {})
+    completed = max(1, cells.get("completed", 0) or 1)
+    latency = stats.get("cache_hit_latency", {})
+    jobs = stats.get("jobs", {})
+    lines = [
+        "repro top — sweep service "
+        f"(uptime {stats.get('uptime_seconds', 0):,.0f}s, "
+        f"window #{telemetry.get('seq', 0)})",
+        "",
+        f"  cells/sec   {window.get('cells_per_second', 0.0):8.1f}   "
+        f"window: +{window.get('completed', 0)} done, "
+        f"+{window.get('failed', 0)} failed",
+        f"  completed   {cells.get('completed', 0):8d}   "
+        f"failed: {cells.get('failed', 0)}   "
+        f"requested: {cells.get('requested', 0)}",
+        "",
+        "  source mix (lifetime)",
+    ]
+    for source in ("cache", "simulated", "dedup"):
+        count = by_source.get(source, 0)
+        lines.append(f"    {source:<10} {count:8d}  "
+                     f"[{_bar(count / completed)}]")
+    lines.extend([
+        "",
+        f"  jobs        active {telemetry.get('active_jobs', 0)}  "
+        f"submitted {jobs.get('submitted', 0)}  "
+        f"completed {jobs.get('completed', 0)}  "
+        f"failed {jobs.get('failed', 0)}  "
+        f"cancelled {jobs.get('cancelled', 0)}",
+        f"  queue       {telemetry.get('inflight', 0)} in-flight keys",
+        f"  dedup rate  {stats.get('dedup_hit_rate', 0.0):.1%}   "
+        f"exactly-once witness: "
+        f"max {stats.get('max_executions_per_key', 0)} execution(s)/key",
+        f"  cache hit   p50 {latency.get('p50_ms')} ms   "
+        f"p95 {latency.get('p95_ms')} ms   "
+        f"max {latency.get('max_ms')} ms "
+        f"({latency.get('count', 0)} samples)",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+async def _top(host: str, port: int, frames: Optional[int],
+               out: IO[str]) -> int:
+    from repro.service.client import SweepClient
+
+    clear = "\x1b[2J\x1b[H" if out.isatty() else ""
+    async with SweepClient(host, port) as client:
+        await client.watch()
+        stats = await client.stats()
+        seen = 0
+        while frames is None or seen < frames:
+            message = await client.recv_type("telemetry")
+            stats = await client.stats()
+            out.write(clear + render_frame(message, stats))
+            out.flush()
+            seen += 1
+    return 0
+
+
+def run_top(host: str, port: int, frames: Optional[int] = None,
+            out: Optional[IO[str]] = None) -> int:
+    """Blocking entry point for the CLI.  ``frames`` bounds the number
+    of telemetry windows rendered (``None`` = until interrupted)."""
+    out = out if out is not None else sys.stdout
+    try:
+        return asyncio.run(_top(host, port, frames, out))
+    except KeyboardInterrupt:
+        return 0

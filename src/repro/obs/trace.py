@@ -1,0 +1,392 @@
+"""Cross-process trace stitching for the sweep service.
+
+The service propagates a *trace context* — ``trace_id`` plus a parent
+span id — through submit → :class:`JobManager` →
+``ProcessPoolExecutor`` → ``execute_cell_payload``:
+
+* the service (when started with a trace directory) appends one JSONL
+  record per job and per cell to a :class:`FleetTraceJournal`;
+* pool workers run :func:`execute_cell_payload_traced`, which wraps the
+  shared worker entry point and drops a per-cell Perfetto span file —
+  a valid standalone Chrome-trace container — as a side artifact next
+  to the journal (or under the result cache);
+* :func:`stitch_fleet_trace` merges journal + worker span files into
+  **one** fleet trace: nested ``X`` slices for tenant → job → cell on
+  the service process, worker slices on their real pids, and ``s``/``f``
+  flow events linking every level, so Perfetto renders the whole
+  multi-tenant run as one connected picture.  The output passes
+  :func:`repro.telemetry.tracer.validate_chrome_trace`.
+
+All timestamps in the journal and span files are wall-clock
+(``time.time()``) seconds — the only clock that is comparable across
+processes; the stitcher rebases everything onto the earliest record so
+trace timestamps stay small.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+from repro.obs import log
+
+_log = log.get_logger("repro.obs.trace")
+
+PathLike = Union[str, Path]
+
+JOURNAL_NAME = "journal.jsonl"
+WORKER_SPAN_SUFFIX = ".wspan.json"
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class FleetTraceJournal:
+    """Append-only JSONL journal of job/cell spans, written by the
+    service's event loop.  Records are flushed per write (they are rare
+    relative to cell work) so a crashed service still stitches."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / JOURNAL_NAME
+        self.spans_dir = self.root / "workers"
+        self._fh: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+        self.record(kind="meta", t=time.time(),
+                    spans_dir=str(self.spans_dir))
+
+    def record(self, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        try:
+            self._fh.write(json.dumps(fields, sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            _log.warning("journal_write_failed", path=str(self.path))
+            self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+def worker_span_path(spans_dir: PathLike, key: str) -> Path:
+    return Path(spans_dir) / f"{key}{WORKER_SPAN_SUFFIX}"
+
+
+def write_worker_span(cell, ctx: Dict, t0: float, t1: float,
+                      error: Optional[str]) -> Optional[Path]:
+    """Write one cell's worker-side Perfetto span file (atomic).
+
+    The file is itself a loadable Chrome-trace container (epoch-µs
+    timestamps); ``otherData`` carries the exact trace context so the
+    stitcher does not have to parse it back out of event args.
+    """
+    spans_dir = ctx.get("spans_dir")
+    if not spans_dir:
+        return None
+    pid = os.getpid()
+    name = f"cell {cell.scheme_key}/{cell.workload_name}"
+    event = {
+        "name": name,
+        "cat": "fleet.worker",
+        "ph": "X",
+        "ts": t0 * 1e6,
+        "dur": max(t1 - t0, 1e-9) * 1e6,
+        "pid": pid,
+        "tid": 0,
+        "args": {"key": ctx.get("key"), "trace_id": ctx.get("trace_id"),
+                 "failed": error is not None},
+    }
+    container = {
+        "traceEvents": [event],
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kind": "worker_span",
+            "key": ctx.get("key"),
+            "trace_id": ctx.get("trace_id"),
+            "parent_id": ctx.get("parent_id"),
+            "span_id": new_span_id(),
+            "name": name,
+            "pid": pid,
+            "t0": t0,
+            "t1": t1,
+            "failed": error is not None,
+        },
+    }
+    directory = Path(spans_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = worker_span_path(directory, ctx.get("key", "unknown"))
+    fd, tmp = tempfile.mkstemp(prefix=".wspan.", suffix=".tmp",
+                               dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(container, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def execute_cell_payload_traced(cell, ctx: Dict) -> Tuple[Optional[Dict], Optional[str]]:
+    """Pool entry point wrapping the shared ``execute_cell_payload``
+    with trace-context emission.  Top-level (picklable) and returning
+    the exact same payload shape, so the service can swap it in per
+    call without touching the result path.  Span-file emission must
+    never fail the cell — observability is strictly additive."""
+    from repro.experiments.executor import execute_cell_payload
+
+    t0 = time.time()
+    result_dict, error = execute_cell_payload(cell)
+    t1 = time.time()
+    try:
+        write_worker_span(cell, ctx, t0, t1, error)
+    except Exception as exc:
+        _log.warning("worker_span_write_failed", key=ctx.get("key"),
+                     error=repr(exc))
+    return result_dict, error
+
+
+# ----------------------------------------------------------------------
+# stitching
+# ----------------------------------------------------------------------
+
+def _read_journal(journal_path: Path) -> List[Dict]:
+    records = []
+    with open(journal_path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _load_worker_spans(spans_dir: Path) -> Dict[str, Dict]:
+    """``{cell key: otherData}`` for every worker span file present."""
+    spans: Dict[str, Dict] = {}
+    if not spans_dir.is_dir():
+        return spans
+    for path in sorted(spans_dir.glob(f"*{WORKER_SPAN_SUFFIX}")):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            other = data.get("otherData", {})
+            key = other.get("key")
+            if key:
+                spans[key] = other
+        except (OSError, ValueError):
+            continue
+    return spans
+
+
+def stitch_fleet_trace(journal_path: PathLike,
+                       spans_dir: Optional[PathLike] = None) -> Dict:
+    """Merge a fleet journal and its worker span files into one
+    Chrome-trace container with tenant → job → cell → worker flows.
+
+    Layout: pid 0 is the sweep service — one thread track per tenant,
+    one per job, one per cell slot; each worker process keeps its real
+    pid.  Flow events (``s``/``f`` pairs, binding-point ``e``) connect
+    the levels, including deduped cells that share one worker span.
+    """
+    journal_path = Path(journal_path)
+    if journal_path.is_dir():
+        journal_path = journal_path / JOURNAL_NAME
+    records = _read_journal(journal_path)
+    if not records:
+        raise ValueError(f"{journal_path}: empty or unreadable journal")
+
+    meta = next((r for r in records if r.get("kind") == "meta"), {})
+    if spans_dir is None:
+        spans_dir = meta.get("spans_dir") or (journal_path.parent / "workers")
+    workers = _load_worker_spans(Path(spans_dir))
+
+    jobs = [r for r in records if r.get("kind") == "job"]
+    cells = [r for r in records if r.get("kind") == "cell"]
+    times = ([r.get("t", 0.0) for r in (meta,) if r]
+             + [r["t0"] for r in jobs + cells if "t0" in r]
+             + [w["t0"] for w in workers.values() if "t0" in w])
+    if not times:
+        raise ValueError(f"{journal_path}: journal has no timed records")
+    base = min(times)
+
+    def ts(t: float) -> float:
+        return max(0.0, (t - base) * 1e6)
+
+    def dur(t0: float, t1: float) -> float:
+        return max((t1 - t0) * 1e6, 1.0)
+
+    events: List[Dict] = []
+    service_pid = 0
+    events.append({"name": "process_name", "ph": "M", "ts": 0,
+                   "pid": service_pid, "tid": 0,
+                   "args": {"name": "sweep-service"}})
+
+    # --- tenant tracks -------------------------------------------------
+    tenants: Dict[str, Dict] = {}
+    for job in jobs:
+        tenant = job.get("tenant", "anonymous")
+        rec = tenants.setdefault(
+            tenant, {"t0": job["t0"], "t1": job["t1"], "jobs": 0})
+        rec["t0"] = min(rec["t0"], job["t0"])
+        rec["t1"] = max(rec["t1"], job["t1"])
+        rec["jobs"] += 1
+    tenant_tid = {t: i + 1 for i, t in enumerate(sorted(tenants))}
+    job_tid: Dict[str, int] = {}
+    next_tid = len(tenant_tid) + 1
+    for job in jobs:
+        job_tid[job["job_id"]] = next_tid
+        next_tid += 1
+    cell_tid_base = next_tid
+
+    for tenant, rec in sorted(tenants.items()):
+        tid = tenant_tid[tenant]
+        events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                       "pid": service_pid, "tid": tid,
+                       "args": {"name": f"tenant {tenant}"}})
+        events.append({
+            "name": f"tenant {tenant}", "cat": "fleet.tenant", "ph": "X",
+            "ts": ts(rec["t0"]), "dur": dur(rec["t0"], rec["t1"]),
+            "pid": service_pid, "tid": tid,
+            "args": {"jobs": rec["jobs"]},
+        })
+
+    # --- job tracks + tenant->job flows --------------------------------
+    job_by_id = {}
+    for job in jobs:
+        job_by_id[job["job_id"]] = job
+        tid = job_tid[job["job_id"]]
+        tenant = job.get("tenant", "anonymous")
+        events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                       "pid": service_pid, "tid": tid,
+                       "args": {"name": f"job {job['job_id']} ({tenant})"}})
+        events.append({
+            "name": f"job {job['job_id']}", "cat": "fleet.job", "ph": "X",
+            "ts": ts(job["t0"]), "dur": dur(job["t0"], job["t1"]),
+            "pid": service_pid, "tid": tid,
+            "args": {"tenant": tenant, "status": job.get("status"),
+                     "cells": job.get("cells"),
+                     "trace_id": job.get("trace_id")},
+        })
+        flow_id = f"{job.get('trace_id', '')}:{job['job_id']}"
+        events.append({"name": "tenant->job", "cat": "fleet.flow",
+                       "ph": "s", "id": flow_id, "ts": ts(job["t0"]),
+                       "pid": service_pid, "tid": tenant_tid[tenant]})
+        events.append({"name": "tenant->job", "cat": "fleet.flow",
+                       "ph": "f", "bp": "e", "id": flow_id,
+                       "ts": ts(job["t0"]), "pid": service_pid,
+                       "tid": tid})
+
+    # --- cell tracks + job->cell + cell->worker flows ------------------
+    worker_pids_named = set()
+    for offset, cell in enumerate(cells):
+        tid = cell_tid_base + offset
+        job_id = cell.get("job_id")
+        job = job_by_id.get(job_id)
+        label = f"cell {cell.get('index')} [{cell.get('source', '?')}]"
+        events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                       "pid": service_pid, "tid": tid,
+                       "args": {"name": f"{job_id}/{cell.get('index')}"}})
+        events.append({
+            "name": label, "cat": "fleet.cell", "ph": "X",
+            "ts": ts(cell["t0"]), "dur": dur(cell["t0"], cell["t1"]),
+            "pid": service_pid, "tid": tid,
+            "args": {"job": job_id, "key": cell.get("key"),
+                     "source": cell.get("source"),
+                     "status": cell.get("status"),
+                     "trace_id": cell.get("trace_id")},
+        })
+        if job is not None:
+            flow_id = f"{cell.get('trace_id', '')}:{job_id}:{cell.get('index')}"
+            events.append({"name": "job->cell", "cat": "fleet.flow",
+                           "ph": "s", "id": flow_id, "ts": ts(cell["t0"]),
+                           "pid": service_pid, "tid": job_tid[job_id]})
+            events.append({"name": "job->cell", "cat": "fleet.flow",
+                           "ph": "f", "bp": "e", "id": flow_id,
+                           "ts": ts(cell["t0"]), "pid": service_pid,
+                           "tid": tid})
+        worker = workers.get(cell.get("key"))
+        if worker is None:
+            continue
+        # clamp the flow start inside the cell slice so the arrow leaves
+        # a live slice even when the worker started before this (dedup)
+        # cell attached to the in-flight execution
+        start = min(max(worker["t0"], cell["t0"]), cell["t1"])
+        flow_id = (f"{cell.get('trace_id', '')}:{job_id}:"
+                   f"{cell.get('index')}:w")
+        events.append({"name": "cell->worker", "cat": "fleet.flow",
+                       "ph": "s", "id": flow_id, "ts": ts(start),
+                       "pid": service_pid, "tid": tid})
+        events.append({"name": "cell->worker", "cat": "fleet.flow",
+                       "ph": "f", "bp": "e", "id": flow_id,
+                       "ts": ts(worker["t0"]), "pid": worker["pid"],
+                       "tid": 0})
+        worker_pids_named.add(worker["pid"])
+
+    # --- worker slices --------------------------------------------------
+    for key, worker in sorted(workers.items()):
+        events.append({
+            "name": worker.get("name", f"cell {key[:12]}"),
+            "cat": "fleet.worker", "ph": "X",
+            "ts": ts(worker["t0"]), "dur": dur(worker["t0"], worker["t1"]),
+            "pid": worker["pid"], "tid": 0,
+            "args": {"key": key, "failed": worker.get("failed", False),
+                     "trace_id": worker.get("trace_id")},
+        })
+    for pid in sorted(worker_pids_named
+                      | {w["pid"] for w in workers.values()}):
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": pid, "tid": 0,
+                       "args": {"name": f"worker pid {pid}"}})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kind": "fleet_trace",
+            "journal": str(journal_path),
+            "tenants": len(tenants),
+            "jobs": len(jobs),
+            "cells": len(cells),
+            "worker_spans": len(workers),
+        },
+    }
+
+
+def write_fleet_trace(journal_path: PathLike, out_path: PathLike,
+                      spans_dir: Optional[PathLike] = None) -> Dict:
+    """Stitch and write; returns the container's ``otherData`` summary."""
+    container = stitch_fleet_trace(journal_path, spans_dir=spans_dir)
+    from repro.telemetry.tracer import validate_chrome_trace
+
+    validate_chrome_trace(container["traceEvents"])
+    out_path = Path(out_path)
+    if out_path.parent != Path(""):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(container, fh, sort_keys=True)
+    return container["otherData"]

@@ -132,6 +132,12 @@ class SweepClient:
         await self.send({"type": "stats"})
         return await self.recv_type("stats")
 
+    async def metrics(self) -> Dict:
+        """Fetch the service's Prometheus text exposition over the
+        NDJSON socket (``exposition`` + ``content_type``)."""
+        await self.send({"type": "metrics"})
+        return await self.recv_type("metrics")
+
     async def status(self, job_id: str) -> Dict:
         await self.send({"type": "status", "job_id": job_id})
         return await self.recv_type("job_status")
@@ -149,14 +155,18 @@ class SweepClient:
         return await self.recv_type("shutting_down")
 
     async def submit(self, cells: List[Cell],
-                     tenant: Optional[str] = None) -> str:
-        """Submit a sweep; returns the job id once accepted."""
-        await self.send(submit_request(cells, tenant=tenant))
+                     tenant: Optional[str] = None,
+                     trace: Optional[Dict] = None) -> str:
+        """Submit a sweep; returns the job id once accepted.
+        ``trace`` (optional ``{trace_id, span_id}``) stitches the job
+        into a caller-owned fleet trace."""
+        await self.send(submit_request(cells, tenant=tenant, trace=trace))
         ack = await self.recv_type("job")
         return ack["job_id"]
 
     async def run(self, cells: List[Cell], tenant: Optional[str] = None,
                   on_event: Optional[Callable[[Dict], None]] = None,
+                  trace: Optional[Dict] = None,
                   ) -> SweepOutcome:
         """Submit and stream until ``job_done``; returns the outcome.
 
@@ -164,7 +174,7 @@ class SweepClient:
         connection — cell completions, telemetry windows, errors — in
         arrival order.
         """
-        job_id = await self.submit(cells, tenant=tenant)
+        job_id = await self.submit(cells, tenant=tenant, trace=trace)
         outcome = SweepOutcome(job_id=job_id, status="running")
         while True:
             message = await self.recv()

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.executor import Cell, Progress
 
@@ -39,8 +39,16 @@ class Job:
     status: str = PENDING
     cancelled: bool = False
     created_at: float = field(default_factory=time.monotonic)
+    #: wall-clock twin of :attr:`created_at`, comparable across
+    #: processes — the fleet-trace journal records wall times only.
+    created_wall: float = field(default_factory=time.time)
     #: the asyncio task running the job (set by the service).
     task: Optional[object] = None
+    #: trace context: the fleet trace this job belongs to, this job's
+    #: own span, and the client-supplied parent span (if any).
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def snapshot(self) -> Dict:
         """JSON-serialisable status view (``job_status`` / ``job_done``)."""
@@ -53,26 +61,51 @@ class Job:
 
 
 class JobManager:
-    """Id allocation, lookup, and lifetime counters for jobs."""
+    """Id allocation, lookup, and lifetime counters for jobs.
 
-    def __init__(self) -> None:
+    ``on_transition`` (if given) fires exactly once per lifecycle edge
+    with ``(job, event)`` where ``event`` is ``submitted`` or the
+    terminal status — the single choke point the service's job metrics
+    and structured job logs hang off, so counter and log can never
+    double-count a transition.
+    """
+
+    def __init__(self, on_transition: Optional[
+            Callable[[Job, str], None]] = None) -> None:
         self.jobs: Dict[str, Job] = {}
         self._ids = itertools.count(1)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        self._on_transition = on_transition
 
-    def create(self, cells: List[Cell], tenant: Optional[str]) -> Job:
+    def _notify(self, job: Job, event: str) -> None:
+        if self._on_transition is not None:
+            self._on_transition(job, event)
+
+    def create(self, cells: List[Cell], tenant: Optional[str],
+               trace: Optional[Dict] = None) -> Job:
+        """``trace`` (optional): client-supplied ``{trace_id, span_id}``
+        this job should stitch under; a fresh trace is minted when
+        absent, so every job always belongs to exactly one fleet
+        trace."""
+        from repro.obs.trace import new_span_id, new_trace_id
+
+        trace = trace or {}
         job = Job(
             id=f"job-{next(self._ids)}",
             tenant=tenant or "anonymous",
             cells=list(cells),
             keys=[cell.key() for cell in cells],
             progress=Progress(total=len(cells)),
+            trace_id=trace.get("trace_id") or new_trace_id(),
+            span_id=new_span_id(),
+            parent_id=trace.get("span_id"),
         )
         self.jobs[job.id] = job
         self.submitted += 1
+        self._notify(job, "submitted")
         return job
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -89,6 +122,7 @@ class JobManager:
             self.failed += 1
         elif status == CANCELLED:
             self.cancelled += 1
+        self._notify(job, status)
 
     @property
     def active(self) -> int:

@@ -21,6 +21,9 @@ cancel     ``job_id``.  Response: ``cancelled`` (or ``error``).
            also waits on keep executing for that tenant.
 stats      Response: ``stats`` — service-lifetime counters, dedup and
            cache-hit figures, latency percentiles.
+metrics    Response: ``metrics`` — the service's Prometheus text
+           exposition (the same bytes ``GET /metrics`` serves), for
+           clients that cannot reach the HTTP listener.
 watch      Subscribe this connection to windowed ``telemetry``
            snapshots.  Response: ``watching``.
 ping       Response: ``pong`` (carries the protocol version).
@@ -50,8 +53,14 @@ Server -> client message types
                  per-window completion/dedup/simulation deltas and
                  cells/sec, plus service totals.
 ``stats``        response to ``stats``.
+``metrics``      response to ``metrics``: ``exposition`` (Prometheus
+                 text format 0.0.4) and its ``content_type``.
 ``error``        a request could not be honoured; echoes ``req_id``
                  when the request carried one.
+
+A ``submit`` may carry a ``trace`` object (``trace_id``, ``span_id``)
+to stitch the job into a caller-owned fleet trace; the service mints a
+fresh ``trace_id`` per job otherwise.
 
 ``source`` semantics: ``cache`` = served from the shared result store
 (memo or disk) with no simulation; ``simulated`` = this request
@@ -64,7 +73,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.executor import Cell
 
@@ -81,7 +90,8 @@ MAX_LINE_BYTES = 32 * 1024 * 1024
 
 #: request types the server accepts.
 REQUEST_TYPES = frozenset(
-    {"submit", "status", "cancel", "stats", "watch", "ping", "shutdown"})
+    {"submit", "status", "cancel", "stats", "metrics", "watch", "ping",
+     "shutdown"})
 
 
 class ProtocolError(ValueError):
@@ -95,8 +105,12 @@ def encode(message: Dict) -> bytes:
                        separators=(",", ":")) + "\n").encode()
 
 
-async def read_message(reader: asyncio.StreamReader) -> Optional[Dict]:
-    """Read one message; ``None`` at EOF.  Blank lines are skipped."""
+async def read_message(reader: asyncio.StreamReader,
+                       on_bytes: Optional[Callable[[int], None]] = None,
+                       ) -> Optional[Dict]:
+    """Read one message; ``None`` at EOF.  Blank lines are skipped.
+    ``on_bytes`` (if given) sees the raw byte count of every line read
+    — the service's ingress byte counter."""
     while True:
         try:
             line = await reader.readline()
@@ -106,6 +120,8 @@ async def read_message(reader: asyncio.StreamReader) -> Optional[Dict]:
             raise ProtocolError(f"unreadable message: {exc}")
         if not line:
             return None
+        if on_bytes is not None:
+            on_bytes(len(line))
         line = line.strip()
         if not line:
             continue
@@ -134,7 +150,8 @@ def validate_request(message: Dict) -> str:
 
 
 def submit_request(cells: List[Cell], tenant: Optional[str] = None,
-                   req_id: Optional[str] = None) -> Dict:
+                   req_id: Optional[str] = None,
+                   trace: Optional[Dict] = None) -> Dict:
     """Build a submit message from executor cells."""
     message: Dict = {"type": "submit",
                      "cells": [cell.to_dict() for cell in cells]}
@@ -142,6 +159,8 @@ def submit_request(cells: List[Cell], tenant: Optional[str] = None,
         message["tenant"] = tenant
     if req_id is not None:
         message["req_id"] = req_id
+    if trace is not None:
+        message["trace"] = trace
     return message
 
 

@@ -46,6 +46,14 @@ from repro.experiments.executor import (
     ExecutorCore,
     execute_cell_payload,
 )
+from repro.obs import log as obslog
+from repro.obs import metrics as obsmetrics
+from repro.obs.trace import (
+    FleetTraceJournal,
+    execute_cell_payload_traced,
+    new_span_id,
+    new_trace_id,
+)
 from repro.service import jobs as jobstate
 from repro.service.jobs import Job, JobManager
 from repro.service.protocol import (
@@ -63,6 +71,84 @@ DEFAULT_TELEMETRY_INTERVAL = 1.0
 
 #: cache-hit latency samples kept for the percentile snapshot.
 LATENCY_SAMPLES = 4096
+
+_log = obslog.get_logger("repro.service")
+
+
+class ServiceMetrics:
+    """The service's Prometheus registry.
+
+    Counters mirror :class:`ServiceStats` (which stays the wire-level
+    ``stats`` source of truth); gauges collect live from the service at
+    scrape time.  The exposition's conservation law matches the stats
+    one::
+
+        repro_cells_completed_total summed over sources
+            == sum of {cache, simulated, dedup}
+
+    and ``repro_unique_simulations_total`` is the exactly-once witness.
+    """
+
+    def __init__(self, service: "SweepService") -> None:
+        reg = obsmetrics.MetricsRegistry()
+        self.registry = reg
+        self.jobs = reg.counter(
+            "repro_jobs_total",
+            "Job lifecycle transitions by state "
+            "(submitted/completed/failed/cancelled).",
+            labelnames=("state",))
+        self.cells_requested = reg.counter(
+            "repro_cells_requested_total",
+            "Cells received in submit requests.")
+        self.cells_completed = reg.counter(
+            "repro_cells_completed_total",
+            "Successful cell events by source.",
+            labelnames=("source",))
+        self.cell_errors = reg.counter(
+            "repro_cell_errors_total",
+            "Cell events that failed on the worker pool "
+            "(includes deduped waiters of a failed key).")
+        self.protocol_errors = reg.counter(
+            "repro_protocol_errors_total",
+            "Client requests the service could not honour.",
+            labelnames=("kind",))
+        self.unique_simulations = reg.counter(
+            "repro_unique_simulations_total",
+            "Distinct keys executed on the worker pool — the "
+            "exactly-once witness.")
+        self.ndjson_bytes = reg.counter(
+            "repro_ndjson_bytes_total",
+            "NDJSON wire bytes by direction.",
+            labelnames=("direction",))
+        self.cache_hit_latency = reg.histogram(
+            "repro_cache_hit_latency_seconds",
+            "Cell intake to event emission for cache-served cells.")
+        self.cells_per_second = reg.gauge(
+            "repro_cells_per_second",
+            "Completed cells per second over the last telemetry window.")
+        reg.gauge(
+            "repro_inflight_keys",
+            "Single-flight keys currently executing (queue depth).",
+        ).set_function(lambda: len(service._inflight))
+        reg.gauge(
+            "repro_active_jobs", "Jobs not yet in a terminal state.",
+        ).set_function(lambda: service.manager.active)
+        reg.gauge(
+            "repro_connections", "Open client connections.",
+        ).set_function(lambda: len(service._connections))
+        reg.gauge(
+            "repro_worker_pool_size", "Configured worker processes.",
+        ).set_function(lambda: float(service.jobs))
+        reg.gauge(
+            "repro_worker_pool_busy",
+            "Cells currently executing on the worker pool.",
+        ).set_function(lambda: float(service._pool_busy))
+        reg.gauge(
+            "repro_worker_pool_utilization",
+            "Busy workers over configured workers, 0..1.",
+        ).set_function(
+            lambda: service._pool_busy / service.jobs if service.jobs
+            else 0.0)
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -168,20 +254,25 @@ class _Connection:
     fan-out, telemetry, and request responses never interleave bytes."""
 
     __slots__ = ("writer", "queue", "closed", "watching", "active_jobs",
-                 "_drainer")
+                 "_drainer", "_on_bytes")
     _SENTINEL = object()
 
-    def __init__(self, writer: asyncio.StreamWriter) -> None:
+    def __init__(self, writer: asyncio.StreamWriter,
+                 on_bytes=None) -> None:
         self.writer = writer
         self.queue: asyncio.Queue = asyncio.Queue()
         self.closed = False
         self.watching = False
         self.active_jobs = 0
+        self._on_bytes = on_bytes
         self._drainer = asyncio.ensure_future(self._drain())
 
     def send(self, message: Dict) -> None:
         if not self.closed:
-            self.queue.put_nowait(encode(message))
+            data = encode(message)
+            if self._on_bytes is not None:
+                self._on_bytes(len(data))
+            self.queue.put_nowait(data)
 
     async def _drain(self) -> None:
         while True:
@@ -229,6 +320,14 @@ class SweepService:
         service instance stays memoised either way).
     telemetry_interval:
         Seconds between windowed ``telemetry`` events (0 disables).
+    metrics_port:
+        Start an HTTP observability listener (``/metrics`` Prometheus
+        exposition + ``/healthz``) on this port (0 = ephemeral, exposed
+        as :attr:`metrics_http_port`; ``None`` disables).
+    trace_dir:
+        Write a fleet-trace journal plus per-cell worker span files
+        under this directory; ``repro trace --service <dir>`` stitches
+        them into one Perfetto trace (``None`` disables tracing).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -236,6 +335,8 @@ class SweepService:
                  cache_dir: Optional[str] = None,
                  force: bool = False,
                  telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
+                 metrics_port: Optional[int] = None,
+                 trace_dir: Optional[str] = None,
                  ) -> None:
         import os
 
@@ -247,18 +348,60 @@ class SweepService:
         if telemetry_interval < 0:
             raise ValueError("telemetry_interval must be >= 0")
         self.core = ExecutorCore(cache_dir=cache_dir, force=force)
-        self.manager = JobManager()
+        self.manager = JobManager(on_transition=self._on_job_transition)
         self.stats = ServiceStats()
         self.telemetry_interval = telemetry_interval
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_busy = 0
         self._inflight: Dict[str, _Inflight] = {}
         self._connections: Set[_Connection] = set()
         self._telemetry_task: Optional[asyncio.Task] = None
         self._telemetry_seq = 0
         self._last_window: Optional[Dict] = None
         self._shutdown = asyncio.Event()
+        self.metrics = ServiceMetrics(self)
+        self._metrics_port = metrics_port
+        self.metrics_http_port: Optional[int] = None
+        self._http = None
+        self.journal: Optional[FleetTraceJournal] = (
+            FleetTraceJournal(trace_dir) if trace_dir is not None else None)
+
+    def _on_job_transition(self, job: Job, event: str) -> None:
+        """Single choke point for job lifecycle metrics, logs, and the
+        fleet-trace journal — fired by the :class:`JobManager`."""
+        self.metrics.jobs.inc(state=event)
+        log = _log.bind(tenant=job.tenant, job=job.id)
+        if event == "submitted":
+            log.info("job_created", cells=len(job.cells),
+                     trace_id=job.trace_id)
+            return
+        log.info("job_finished", status=event,
+                 completed=job.progress.completed,
+                 failed=job.progress.failed)
+        if self.journal is not None:
+            self.journal.record(
+                kind="job", job_id=job.id, tenant=job.tenant,
+                trace_id=job.trace_id, span_id=job.span_id,
+                parent_id=job.parent_id, status=event,
+                cells=len(job.cells), t0=job.created_wall,
+                t1=time.time())
+
+    def _record_cache_hit(self, start: float) -> None:
+        seconds = time.monotonic() - start
+        self.stats.record_cache_hit(seconds)
+        self.metrics.cache_hit_latency.observe(seconds)
+
+    def _healthz(self) -> Dict:
+        return {
+            "ok": True,
+            "port": self.port,
+            "jobs": self.manager.counters(),
+            "cells_completed": self.stats.cells_completed,
+            "inflight": len(self._inflight),
+            "connections": len(self._connections),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -271,6 +414,19 @@ class SweepService:
         if self.telemetry_interval > 0:
             self._telemetry_task = asyncio.ensure_future(
                 self._telemetry_loop())
+        if self._metrics_port is not None:
+            from repro.obs.http import ObsHTTPServer
+
+            self._http = ObsHTTPServer(
+                self.metrics.registry, healthz=self._healthz,
+                host=self.host, port=self._metrics_port)
+            await self._http.start()
+            self.metrics_http_port = self._http.port
+        _log.info("service_started", host=self.host, port=self.port,
+                  workers=self.jobs,
+                  metrics_port=self.metrics_http_port,
+                  trace_dir=(str(self.journal.root)
+                             if self.journal else None))
 
     async def stop(self) -> None:
         """Graceful stop: refuse new connections, cancel active jobs,
@@ -300,10 +456,18 @@ class SweepService:
         for connection in list(self._connections):
             await connection.close()
         self._connections.clear()
+        if self._http is not None:
+            await self._http.stop()
+            self._http = None
         if self._pool is not None:
             pool = self._pool
             self._pool = None
             await asyncio.to_thread(pool.shutdown, True)
+        if self.journal is not None:
+            self.journal.close()
+        _log.info("service_stopped",
+                  cells_completed=self.stats.cells_completed,
+                  cells_failed=self.stats.cells_failed)
 
     async def __aenter__(self) -> "SweepService":
         await self.start()
@@ -331,13 +495,24 @@ class SweepService:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        connection = _Connection(writer)
+        connection = _Connection(
+            writer,
+            on_bytes=lambda n: self.metrics.ndjson_bytes.inc(
+                n, direction="out"))
         self._connections.add(connection)
+        peer = writer.get_extra_info("peername")
+        _log.debug("connection_opened", peer=repr(peer))
         try:
             while True:
                 try:
-                    message = await read_message(reader)
+                    message = await read_message(
+                        reader,
+                        on_bytes=lambda n: self.metrics.ndjson_bytes.inc(
+                            n, direction="in"))
                 except ProtocolError as exc:
+                    self.metrics.protocol_errors.inc(kind="malformed")
+                    _log.warning("malformed_request", peer=repr(peer),
+                                 error=str(exc))
                     connection.send({"type": "error", "message": str(exc)})
                     break
                 if message is None:
@@ -346,12 +521,16 @@ class SweepService:
         finally:
             self._connections.discard(connection)
             await connection.close()
+            _log.debug("connection_closed", peer=repr(peer))
 
     async def _handle_request(self, connection: _Connection,
                               message: Dict) -> None:
         req_id = message.get("req_id")
 
-        def fail(text: str) -> None:
+        def fail(text: str, kind: str = "rejected") -> None:
+            self.metrics.protocol_errors.inc(kind=kind)
+            _log.warning("request_rejected",
+                         request=message.get("type"), reason=text)
             error: Dict = {"type": "error", "message": text}
             if req_id is not None:
                 error["req_id"] = req_id
@@ -360,7 +539,7 @@ class SweepService:
         try:
             kind = validate_request(message)
         except ProtocolError as exc:
-            fail(str(exc))
+            fail(str(exc), kind="malformed")
             return
 
         if kind == "ping":
@@ -375,6 +554,13 @@ class SweepService:
                        "jobs": self.manager.counters(),
                        "inflight": len(self._inflight),
                        **self.stats.snapshot()}
+            if req_id is not None:
+                payload["req_id"] = req_id
+            connection.send(payload)
+        elif kind == "metrics":
+            payload = {"type": "metrics",
+                       "content_type": obsmetrics.CONTENT_TYPE,
+                       "exposition": self.metrics.registry.render()}
             if req_id is not None:
                 payload["req_id"] = req_id
             connection.send(payload)
@@ -399,10 +585,14 @@ class SweepService:
             try:
                 cells = cells_from_submit(message)
             except ProtocolError as exc:
-                fail(str(exc))
+                fail(str(exc), kind="malformed")
                 return
-            job = self.manager.create(cells, message.get("tenant"))
+            trace = message.get("trace")
+            job = self.manager.create(
+                cells, message.get("tenant"),
+                trace=trace if isinstance(trace, dict) else None)
             self.stats.cells_requested += len(cells)
+            self.metrics.cells_requested.inc(len(cells))
             ack: Dict = {"type": "job", "job_id": job.id,
                          "cells": len(cells)}
             if req_id is not None:
@@ -454,7 +644,7 @@ class SweepService:
         # are served synchronously — no pool, no disk, no future
         memoised = self.core.peek(key)
         if memoised is not None:
-            self.stats.record_cache_hit(time.monotonic() - start)
+            self._record_cache_hit(start)
             self._deliver(job, connection, index, key, "cache",
                           memoised.to_dict(), start)
             return
@@ -483,6 +673,11 @@ class SweepService:
             job.progress.failed += 1
             self.stats.cells_failed += 1
             self.stats.failed_keys += 1
+            self.metrics.cell_errors.inc()
+            _log.error("cell_error", tenant=job.tenant, job=job.id,
+                       index=index, key=key, error=str(exc)[:2000])
+            self._journal_cell(job, index, key, "simulated", "error",
+                               start)
             connection.send({"type": "cell_error", "job_id": job.id,
                             "index": index, "key": key,
                              "error": str(exc)})
@@ -492,7 +687,7 @@ class SweepService:
             return
         if owner:
             if source == "cache":
-                self.stats.record_cache_hit(time.monotonic() - start)
+                self._record_cache_hit(start)
             else:
                 self.stats.source_simulated += 1
         else:
@@ -500,6 +695,21 @@ class SweepService:
             self.stats.source_dedup += 1
         self._deliver(job, connection, index, key, source, result_dict,
                       start)
+
+    def _journal_cell(self, job: Job, index: int, key: str, source: str,
+                      status: str, start: float) -> None:
+        """Append this cell's span to the fleet-trace journal.  Wall
+        t0 is recovered from the monotonic intake stamp so the span
+        covers intake-to-emission, not just pool time."""
+        if self.journal is None:
+            return
+        t1 = time.time()
+        t0 = t1 - (time.monotonic() - start)
+        self.journal.record(
+            kind="cell", job_id=job.id, tenant=job.tenant, index=index,
+            key=key, source=source, status=status,
+            trace_id=job.trace_id, parent_id=job.span_id,
+            span_id=new_span_id(), t0=t0, t1=t1)
 
     def _deliver(self, job: Job, connection: _Connection, index: int,
                  key: str, source: str, result_dict: Dict,
@@ -510,6 +720,8 @@ class SweepService:
         else:
             job.progress.cache_hits += 1
         self.stats.cells_completed += 1
+        self.metrics.cells_completed.inc(source=source)
+        self._journal_cell(job, index, key, source, "ok", start)
         connection.send({
             "type": "cell",
             "job_id": job.id,
@@ -532,12 +744,32 @@ class SweepService:
             else:
                 pool = self._ensure_pool()
                 loop = asyncio.get_running_loop()
-                result_dict, error = await loop.run_in_executor(
-                    pool, execute_cell_payload, cell)
+                self._pool_busy += 1
+                try:
+                    if self.journal is not None:
+                        owner = self.manager.get(entry.owner_job)
+                        ctx = {
+                            "key": key,
+                            "trace_id": (owner.trace_id if owner
+                                         else None),
+                            "parent_id": (owner.span_id if owner
+                                          else None),
+                            "spans_dir": str(self.journal.spans_dir),
+                        }
+                        result_dict, error = await loop.run_in_executor(
+                            pool, execute_cell_payload_traced, cell, ctx)
+                    else:
+                        result_dict, error = await loop.run_in_executor(
+                            pool, execute_cell_payload, cell)
+                finally:
+                    self._pool_busy -= 1
                 if error is not None:
+                    _log.error("worker_failure", key=key,
+                               error=error[:2000])
                     raise CellExecutionError(error)
                 self.stats.unique_simulated += 1
                 self.stats.executions_by_key[key] += 1
+                self.metrics.unique_simulations.inc()
                 result = RunResult.from_dict(result_dict)
                 await asyncio.to_thread(self.core.remember, key, result,
                                         cell)
@@ -590,6 +822,9 @@ class SweepService:
         window = {key: totals[key] - last[key] for key in totals}
         self._last_window = totals
         self._telemetry_seq += 1
+        self.metrics.cells_per_second.set(
+            window["completed"] / self.telemetry_interval
+            if self.telemetry_interval else 0.0)
         event = {
             "type": "telemetry",
             "seq": self._telemetry_seq,

@@ -80,7 +80,7 @@ construction.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.cpu.batch import BatchCore
 from repro.cpu.core import DIRTY_FIFO_DEPTH
@@ -89,8 +89,11 @@ from repro.cpu.mshr import (COMPLETE, DISPATCHED, QUEUED, STAGING,
 from repro.dram.channel import Channel
 from repro.dram.request import Priority
 from repro.schemes.base import Level
+from repro.obs import log as obs_log
 from repro.sim import faults
 from repro.sim.engine import _FREE_LIST_CAP, SimulationError
+
+_log = obs_log.get_logger("repro.sim.window")
 
 #: the dense-shape identities, resolved once at import (class-level
 #: functions; instance rebinding like ``enable_turbo`` never changes
@@ -103,6 +106,67 @@ _FAST_DONE = MemoryRequest.fast_done
 _OP_DONE = MemoryRequest.op_done
 
 _DEMAND = Priority.DEMAND
+
+
+class ClockStats:
+    """Two-tier dispatch attribution for one batch-mode run.
+
+    Pure observation: every counter is an integer incremented outside
+    the simulated timeline, so enabling attribution cannot move a single
+    event time — the byte-identity contract is untouched (and
+    ``RunResult.to_dict`` excludes the derived ``cf.*`` extras from the
+    canonical wire form for the same reason).
+
+    The counters reconcile exactly by construction: each loop iteration
+    of :func:`run_closed_form` lands in exactly one bucket, so
+    ``fused + generic == dispatched`` always holds; the equivalence
+    suite asserts it on every cell of the differential grid.
+    """
+
+    __slots__ = ("dispatched", "fused_issue", "fused_complete_fast",
+                 "fused_complete_turbo", "generic_certificate",
+                 "generic_unrecognized", "fallback")
+
+    def __init__(self) -> None:
+        self.dispatched = 0
+        self.fused_issue = 0
+        self.fused_complete_fast = 0
+        self.fused_complete_turbo = 0
+        #: Tier-1 re-entries because the event sat at/past the scheme's
+        #: steady-window certificate (epoch boundaries and their wake).
+        self.generic_certificate = 0
+        #: Tier-1 re-entries because the callback shape is not one of
+        #: the dense transcriptions (telemetry ticks, refresh, stall
+        #: retries, warmup wrappers).
+        self.generic_unrecognized = 0
+        #: fallback-reason histogram: ``"certificate:<qualname>"`` and
+        #: ``"shape:<qualname>"`` -> count.
+        self.fallback: Dict[str, int] = {}
+
+    @property
+    def fused(self) -> int:
+        return (self.fused_issue + self.fused_complete_fast
+                + self.fused_complete_turbo)
+
+    @property
+    def generic(self) -> int:
+        return self.generic_certificate + self.generic_unrecognized
+
+    def as_extras(self, prefix: str = "cf.") -> Dict[str, float]:
+        """The tier-attribution block for ``RunResult.extras``."""
+        out = {
+            prefix + "dispatches_total": float(self.dispatched),
+            prefix + "dispatches_fused": float(self.fused),
+            prefix + "dispatches_generic": float(self.generic),
+            prefix + "fused_issue": float(self.fused_issue),
+            prefix + "fused_complete_fast": float(self.fused_complete_fast),
+            prefix + "fused_complete_turbo": float(self.fused_complete_turbo),
+            prefix + "generic_certificate": float(self.generic_certificate),
+            prefix + "generic_unrecognized": float(self.generic_unrecognized),
+        }
+        for reason, count in self.fallback.items():
+            out[prefix + "fallback." + reason] = float(count)
+        return out
 
 
 def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
@@ -122,6 +186,23 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
     engine = system.engine
     if engine._running:
         raise SimulationError("engine is not reentrant")
+    if getattr(system, "spans", None) is not None:
+        # Defense in depth: ``System.run`` never routes a span-tracing
+        # run here (span hooks cannot observe fused event bodies), but
+        # if a future gate change does, the suppression must be loud —
+        # an explicit extras flag plus a one-time structured warning
+        # instead of silently-empty span aggregates.
+        system._spans_suppressed = True
+        _log.warn_once(
+            "spans_suppressed",
+            scheme=system.controller.scheme.name,
+            reason="closed-form evaluator fuses dispatch bodies; "
+                   "span hooks cannot observe fused events",
+        )
+    clock = getattr(system, "clock_stats", None)
+    if clock is None:
+        clock = ClockStats()
+    fallback = clock.fallback
     controller = system.controller
     scheme = controller.scheme
     scheme_stats = scheme.stats
@@ -307,6 +388,7 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
             else:
                 ctrl_stats.demand_fm_bytes += size
                 device = fm
+            controller.fast_accepted += 1
             controller.inflight += 1
             txn.state = STAGING
             device.access_turbo(addr, size, op_write, True, txn.fast_done)
@@ -319,6 +401,9 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
     engine._running = True
     engine._halt = False
     dispatched = 0
+    # per-tier attribution accumulators (locals in the hot loop, folded
+    # into ``clock`` once in the finally clause)
+    n_issue = n_fast = n_turbo = n_cert = n_other = 0
     cert = certificate(engine.now)
     try:
         while queue:
@@ -335,6 +420,10 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
                 # Tier-1 territory: a clock-driven scheme event is due
                 # at (or accumulated-float-near) this time — dispatch
                 # generically and re-certify from the new now.
+                n_cert += 1
+                key = "certificate:" + getattr(
+                    fn, "__qualname__", type(fn).__name__)
+                fallback[key] = fallback.get(key, 0) + 1
                 fn(*args)
                 cert = certificate(engine.now)
                 if engine._halt:
@@ -344,6 +433,7 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
             f = getattr(fn, "__func__", None)
             if f is _ISSUE:
                 # ``BatchCore._issue_cols``, transcribed
+                n_issue += 1
                 core = fn.__self__
                 pc, vaddr, is_write = args
                 cstats = core.stats
@@ -437,6 +527,7 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
                     engine._halt = True
             elif f is _COMPLETE_FAST:
                 # ``Channel._complete_fast``, transcribed
+                n_fast += 1
                 channel = fn.__self__
                 size, c_write, c_demand, cb = args
                 channel._inflight -= 1
@@ -456,6 +547,7 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
                     channel._try_issue_turbo()
             elif f is _COMPLETE_TURBO:
                 # ``Channel._complete_turbo``, transcribed
+                n_turbo += 1
                 channel = fn.__self__
                 request = args[0]
                 request.completed_at = when
@@ -485,6 +577,10 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
             else:
                 # sparse Tier-1 event (epoch timer, telemetry tick,
                 # refresh, stall retry, warmup wrapper, op_done stage)
+                n_other += 1
+                key = "shape:" + getattr(
+                    fn, "__qualname__", type(fn).__name__)
+                fallback[key] = fallback.get(key, 0) + 1
                 fn(*args)
                 cert = certificate(engine.now)
             if engine._halt:
@@ -493,3 +589,9 @@ def run_closed_form(system, warmup_threshold: Optional[int] = None) -> None:
     finally:
         engine.events_dispatched += dispatched
         engine._running = False
+        clock.dispatched += dispatched
+        clock.fused_issue += n_issue
+        clock.fused_complete_fast += n_fast
+        clock.fused_complete_turbo += n_turbo
+        clock.generic_certificate += n_cert
+        clock.generic_unrecognized += n_other

@@ -61,6 +61,22 @@ def _run_json(scheme: str, workload: str, mshr_entries: int,
                          misses_per_core=MISSES, seed=SEED)
     else:
         result = run_one(scheme, workload, config, misses_per_core=MISSES)
+    if batch_window > 0 and check_interval == 0.0:
+        # two-tier clock attribution must reconcile exactly on every
+        # cell of the matrix (each dispatch lands in exactly one tier)
+        # and must never leak into the canonical wire form.  (The
+        # oracle-checked pass runs generic dispatch throughout, so it
+        # legitimately has no attribution block.)
+        extras = result.extras
+        assert (extras["cf.dispatches_fused"]
+                + extras["cf.dispatches_generic"]
+                == extras["cf.dispatches_total"]), (
+            f"tier attribution does not reconcile for {scheme}/"
+            f"{workload}/mshr={mshr_entries}")
+        assert (extras["cf.fused_issue"] + extras["cf.fused_complete_fast"]
+                + extras["cf.fused_complete_turbo"]
+                == extras["cf.dispatches_fused"])
+        assert not any(k.startswith("cf.") for k in result.to_dict()["extras"])
     return json.dumps(result.to_dict(), sort_keys=True)
 
 

@@ -1,0 +1,116 @@
+"""Structured JSON-lines logging: levels, sinks, binding, dedup, and
+the environment handoff that carries configuration into pool workers."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging_state():
+    """Every test starts from the default config and leaves no env."""
+    yield
+    log.configure(level="warning", path=None, stream=None,
+                  propagate_env=False)
+    log.reset_once()
+    os.environ.pop(log.ENV_LEVEL, None)
+    os.environ.pop(log.ENV_FILE, None)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def test_records_are_json_lines_with_context(tmp_path):
+    target = tmp_path / "log.jsonl"
+    log.configure(level="info", path=str(target), propagate_env=False)
+    logger = log.get_logger("repro.test", tenant="alice")
+    logger.info("job_created", job="job-1", cells=3)
+    records = read_lines(target)
+    assert len(records) == 1
+    record = records[0]
+    assert record["level"] == "info"
+    assert record["logger"] == "repro.test"
+    assert record["event"] == "job_created"
+    assert record["tenant"] == "alice"
+    assert record["job"] == "job-1"
+    assert record["cells"] == 3
+    assert record["pid"] == os.getpid()
+    assert isinstance(record["ts"], float)
+
+
+def test_level_threshold_filters_lower_levels(tmp_path):
+    target = tmp_path / "log.jsonl"
+    log.configure(level="warning", path=str(target), propagate_env=False)
+    logger = log.get_logger("repro.test")
+    logger.debug("too_low")
+    logger.info("also_too_low")
+    logger.warning("kept")
+    logger.error("kept_too")
+    assert [r["event"] for r in read_lines(target)] == ["kept", "kept_too"]
+
+
+def test_bind_returns_new_logger_with_merged_fields(tmp_path):
+    target = tmp_path / "log.jsonl"
+    log.configure(level="info", path=str(target), propagate_env=False)
+    base = log.get_logger("repro.test", tenant="alice")
+    bound = base.bind(job="job-9")
+    bound.info("evt", cells=1)
+    base.info("evt2")
+    records = read_lines(target)
+    assert records[0]["tenant"] == "alice" and records[0]["job"] == "job-9"
+    # binding never mutates the parent
+    assert "job" not in records[1]
+
+
+def test_warn_once_emits_exactly_once(tmp_path):
+    target = tmp_path / "log.jsonl"
+    log.configure(level="warning", path=str(target), propagate_env=False)
+    logger = log.get_logger("repro.test")
+    assert logger.warn_once("spans_suppressed", scheme="silc") is True
+    assert logger.warn_once("spans_suppressed", scheme="silc") is False
+    assert len(read_lines(target)) == 1
+    log.reset_once()
+    assert logger.warn_once("spans_suppressed") is True
+
+
+def test_capture_sees_records_below_the_threshold():
+    log.configure(level="off", propagate_env=False)
+    with log.capture() as records:
+        log.get_logger("repro.test").debug("invisible_but_captured", x=1)
+    assert [r["event"] for r in records] == ["invisible_but_captured"]
+    assert records[0]["x"] == 1
+
+
+def test_configure_propagates_to_env_and_back(tmp_path):
+    target = tmp_path / "worker.jsonl"
+    log.configure(level="debug", path=str(target), propagate_env=True)
+    assert os.environ[log.ENV_LEVEL] == "debug"
+    assert os.environ[log.ENV_FILE] == str(target)
+    # a worker process adopts the env lazily; force simulates the fresh
+    # interpreter the spawn start method gives pool workers
+    log.configure(level="warning", path=None, stream=None,
+                  propagate_env=False)
+    log.configure_from_env(force=True)
+    assert log.level_name() == "debug"
+    log.get_logger("repro.worker").debug("from_worker")
+    assert [r["event"] for r in read_lines(target)] == ["from_worker"]
+
+
+def test_unserialisable_fields_do_not_crash_the_caller(tmp_path):
+    target = tmp_path / "log.jsonl"
+    log.configure(level="info", path=str(target), propagate_env=False)
+    log.get_logger("repro.test").info("evt", obj=object())
+    (record,) = read_lines(target)
+    # repr fallback keeps the record a valid JSON line
+    assert record["event"] == "evt"
+    assert "object object" in record["obj"]
+
+
+def test_unknown_level_is_rejected():
+    with pytest.raises(ValueError):
+        log.configure(level="verbose", propagate_env=False)

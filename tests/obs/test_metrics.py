@@ -1,0 +1,214 @@
+"""The metrics layer: exposition-format golden, histogram bucket
+semantics, registry behaviour under concurrent writers/watchers, and
+the in-tree exposition parser the CI witness assertions rely on."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    MetricError,
+    MetricsRegistry,
+    parse_exposition,
+    sample_value,
+)
+
+
+# ---------------------------------------------------------------------------
+# exposition golden
+# ---------------------------------------------------------------------------
+def test_exposition_golden():
+    """The rendered text is the exact Prometheus 0.0.4 document — HELP
+    and TYPE headers, sorted label sets, cumulative buckets, sum and
+    count — byte for byte."""
+    reg = MetricsRegistry()
+    cells = reg.counter("repro_cells_completed_total",
+                        "Successful cell events by source.",
+                        labelnames=("source",))
+    cells.inc(3, source="simulated")
+    cells.inc(source="cache")
+    depth = reg.gauge("repro_inflight_keys", "Single-flight keys.")
+    depth.set(2)
+    hist = reg.histogram("repro_cache_hit_latency_seconds",
+                         "Cache-hit latency.", buckets=(0.001, 0.01, 0.1))
+    hist.observe(0.0004)
+    hist.observe(0.01)
+    hist.observe(5.0)
+    assert reg.render() == (
+        "# HELP repro_cells_completed_total Successful cell events by"
+        " source.\n"
+        "# TYPE repro_cells_completed_total counter\n"
+        'repro_cells_completed_total{source="cache"} 1\n'
+        'repro_cells_completed_total{source="simulated"} 3\n'
+        "# HELP repro_inflight_keys Single-flight keys.\n"
+        "# TYPE repro_inflight_keys gauge\n"
+        "repro_inflight_keys 2\n"
+        "# HELP repro_cache_hit_latency_seconds Cache-hit latency.\n"
+        "# TYPE repro_cache_hit_latency_seconds histogram\n"
+        'repro_cache_hit_latency_seconds_bucket{le="0.001"} 1\n'
+        'repro_cache_hit_latency_seconds_bucket{le="0.01"} 2\n'
+        'repro_cache_hit_latency_seconds_bucket{le="0.1"} 2\n'
+        'repro_cache_hit_latency_seconds_bucket{le="+Inf"} 3\n'
+        "repro_cache_hit_latency_seconds_sum 5.0104\n"
+        "repro_cache_hit_latency_seconds_count 3\n"
+    )
+
+
+def test_exposition_parses_back_to_the_same_samples():
+    reg = MetricsRegistry()
+    counter = reg.counter("c_total", "c", labelnames=("kind",))
+    counter.inc(7, kind="a")
+    gauge = reg.gauge("g", "g")
+    gauge.set(1.5)
+    samples = parse_exposition(reg.render())
+    assert sample_value(samples, "c_total", kind="a") == 7
+    assert sample_value(samples, "g") == 1.5
+
+
+# ---------------------------------------------------------------------------
+# histogram buckets
+# ---------------------------------------------------------------------------
+def test_histogram_upper_bounds_are_inclusive():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h", "h", buckets=(1.0, 2.0))
+    hist.observe(1.0)   # le="1" inclusive
+    hist.observe(2.0)   # le="2" inclusive
+    hist.observe(2.0001)  # overflow
+    snap = hist.snapshot()
+    assert snap["1"] == 1
+    assert snap["2"] == 2  # cumulative: includes the le="1" observation
+    assert snap["+Inf"] == 3
+    assert snap["count"] == 3
+    assert snap["sum"] == pytest.approx(5.0001)
+
+
+def test_histogram_rejects_unsorted_or_empty_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricError):
+        reg.histogram("h1", "h", buckets=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h2", "h", buckets=())
+    with pytest.raises(MetricError):
+        reg.histogram("h3", "h", buckets=(1.0, 1.0))
+
+
+def test_histogram_trailing_inf_bucket_is_normalised():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h", "h", buckets=(1.0, math.inf))
+    assert hist.bounds == (1.0,)
+    hist.observe(0.5)
+    assert hist.snapshot()["+Inf"] == 1
+
+
+def test_default_latency_buckets_cover_sub_ms_to_tens_of_seconds():
+    bounds = metrics.DEFAULT_LATENCY_BUCKETS
+    assert bounds[0] <= 0.001 and bounds[-1] >= 10.0
+    assert list(bounds) == sorted(bounds)
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+def test_counter_cannot_decrease_and_labels_must_match():
+    reg = MetricsRegistry()
+    counter = reg.counter("c_total", "c", labelnames=("kind",))
+    with pytest.raises(MetricError):
+        counter.inc(-1, kind="a")
+    with pytest.raises(MetricError):
+        counter.inc(1)  # missing label
+    with pytest.raises(MetricError):
+        counter.inc(1, kind="a", extra="b")
+
+
+def test_duplicate_metric_names_are_rejected():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "c")
+    with pytest.raises(MetricError):
+        reg.gauge("c_total", "again")
+
+
+def test_callback_gauge_collects_at_render_time():
+    reg = MetricsRegistry()
+    box = {"v": 1.0}
+    reg.gauge("g", "g").set_function(lambda: box["v"])
+    assert sample_value(parse_exposition(reg.render()), "g") == 1.0
+    box["v"] = 42.0
+    assert sample_value(parse_exposition(reg.render()), "g") == 42.0
+
+
+def test_failing_callback_gauge_renders_nan_not_raises():
+    reg = MetricsRegistry()
+
+    def boom():
+        raise RuntimeError("collector died")
+
+    reg.gauge("g", "g").set_function(boom)
+    rendered = reg.render()
+    assert "g NaN" in rendered
+
+
+def test_registry_under_concurrent_writers_and_watchers():
+    """Two incrementing threads race two scraping threads; every scrape
+    must parse cleanly and the final count must be exact."""
+    reg = MetricsRegistry()
+    counter = reg.counter("c_total", "c", labelnames=("worker",))
+    hist = reg.histogram("h", "h", buckets=(0.5, 1.0))
+    errors = []
+    iterations = 3000
+
+    def writer(name):
+        for i in range(iterations):
+            counter.inc(worker=name)
+            hist.observe((i % 3) * 0.5)
+
+    def watcher():
+        for _ in range(200):
+            try:
+                samples = parse_exposition(reg.render())
+                # cumulative buckets are never decreasing mid-scrape
+                assert (samples['h_bucket{le="0.5"}']
+                        <= samples['h_bucket{le="1"}']
+                        <= samples['h_bucket{le="+Inf"}'])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+    threads = ([threading.Thread(target=writer, args=(n,))
+                for n in ("a", "b")]
+               + [threading.Thread(target=watcher) for _ in range(2)])
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert counter.value(worker="a") == iterations
+    assert counter.value(worker="b") == iterations
+    assert hist.snapshot()["count"] == 2 * iterations
+
+
+# ---------------------------------------------------------------------------
+# parser strictness
+# ---------------------------------------------------------------------------
+def test_parser_rejects_malformed_lines():
+    for bad in ("just words", "name{unclosed 1", "name =", "n 1 2 3 4"):
+        with pytest.raises(MetricError):
+            parse_exposition(bad)
+
+
+def test_parser_skips_comments_and_handles_escapes():
+    text = ('# HELP x help\n# TYPE x counter\n'
+            'x{msg="a\\"b\\\\c\\nd"} 5\n')
+    samples = parse_exposition(text)
+    assert sample_value(samples, "x", msg='a"b\\c\nd') == 5
+
+
+def test_parser_handles_inf_and_label_order():
+    samples = parse_exposition('m{b="2",a="1"} +Inf\n')
+    # canonical name sorts labels, so lookups are order-independent
+    assert sample_value(samples, "m", a="1", b="2") == math.inf
+
+
+def test_sample_value_raises_on_missing_sample():
+    with pytest.raises(MetricError):
+        sample_value({}, "nope")

@@ -1,0 +1,238 @@
+"""Fleet-trace stitching: the journal, the per-cell worker span files,
+and the merged Chrome-trace container with its s/f flow pairs."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.executor import Cell, execute_cell_payload
+from repro.obs import trace
+from repro.obs.trace import (
+    FleetTraceJournal,
+    execute_cell_payload_traced,
+    new_span_id,
+    new_trace_id,
+    stitch_fleet_trace,
+    worker_span_path,
+    write_fleet_trace,
+    write_worker_span,
+)
+from repro.sim.config import default_config
+from repro.telemetry.tracer import validate_chrome_trace
+
+MISSES = 120
+
+
+def tiny_cell(scheme="cam", workload="mcf"):
+    config = dataclasses.replace(default_config(scale=0.25), cores=2)
+    return Cell(scheme, workload, config, misses_per_core=MISSES)
+
+
+def make_journal(tmp_path, *, with_error=False, dedup=False):
+    """A synthetic two-tenant fleet: two jobs, three or four cells, two
+    worker spans — enough structure to exercise every stitcher branch."""
+    journal = FleetTraceJournal(tmp_path / "fleet")
+    base = 1000.0
+    trace_a, trace_b = new_trace_id(), new_trace_id()
+    job_a = dict(kind="job", job_id="job-1", tenant="alice",
+                 trace_id=trace_a, span_id=new_span_id(), parent_id=None,
+                 status="completed", cells=2, t0=base, t1=base + 2.0)
+    job_b = dict(kind="job", job_id="job-2", tenant="bob",
+                 trace_id=trace_b, span_id=new_span_id(), parent_id=None,
+                 status="completed", cells=1, t0=base + 0.5,
+                 t1=base + 1.5)
+    cells = [
+        dict(kind="cell", job_id="job-1", tenant="alice", index=0,
+             key="key-sim", source="simulated", status="ok",
+             trace_id=trace_a, parent_id=job_a["span_id"],
+             span_id=new_span_id(), t0=base + 0.1, t1=base + 1.0),
+        dict(kind="cell", job_id="job-1", tenant="alice", index=1,
+             key="key-cache", source="cache",
+             status="error" if with_error else "ok",
+             trace_id=trace_a, parent_id=job_a["span_id"],
+             span_id=new_span_id(), t0=base + 1.0, t1=base + 1.2),
+        dict(kind="cell", job_id="job-2", tenant="bob", index=0,
+             key="key-sim" if dedup else "key-b",
+             source="dedup" if dedup else "simulated", status="ok",
+             trace_id=trace_b, parent_id=job_b["span_id"],
+             span_id=new_span_id(), t0=base + 0.6, t1=base + 1.1),
+    ]
+    for record in [job_a, job_b] + cells:
+        journal.record(**record)
+    journal.close()
+
+    spans_dir = journal.spans_dir
+    spans_dir.mkdir(parents=True, exist_ok=True)
+    worker_keys = ["key-sim"] if dedup else ["key-sim", "key-b"]
+    for i, key in enumerate(worker_keys):
+        container = {
+            "traceEvents": [],
+            "otherData": {"kind": "worker_span", "key": key,
+                          "trace_id": trace_a, "parent_id": "p",
+                          "span_id": new_span_id(),
+                          "name": f"cell {key}", "pid": 4000 + i,
+                          "t0": base + 0.15, "t1": base + 0.95,
+                          "failed": False},
+        }
+        worker_span_path(spans_dir, key).write_text(
+            json.dumps(container), encoding="utf-8")
+    return journal.root
+
+
+def flow_pairs(events):
+    """{flow id: set of phases} for every fleet.flow event."""
+    pairs = {}
+    for event in events:
+        if event.get("cat") == "fleet.flow":
+            pairs.setdefault((event["name"], event["id"]),
+                             set()).add(event["ph"])
+    return pairs
+
+
+def test_stitch_builds_a_valid_connected_fleet_trace(tmp_path):
+    root = make_journal(tmp_path)
+    container = stitch_fleet_trace(root)
+    validate_chrome_trace(container["traceEvents"])
+    other = container["otherData"]
+    assert other["tenants"] == 2
+    assert other["jobs"] == 2
+    assert other["cells"] == 3
+    assert other["worker_spans"] == 2
+
+    events = container["traceEvents"]
+    # every flow id appears exactly as one start + one finish
+    pairs = flow_pairs(events)
+    assert pairs and all(phases == {"s", "f"} for phases in pairs.values())
+    names = {name for name, _ in pairs}
+    assert names == {"tenant->job", "job->cell", "cell->worker"}
+    # only the two keys with worker spans get cell->worker arrows
+    assert sum(1 for name, _ in pairs if name == "cell->worker") == 2
+
+    # service layout: tenants, jobs and cells on distinct pid-0 tracks
+    service_tids = {e["tid"] for e in events
+                    if e["pid"] == 0 and e["ph"] == "X"}
+    assert len(service_tids) == 2 + 2 + 3
+    worker_pids = {e["pid"] for e in events
+                   if e.get("cat") == "fleet.worker"}
+    assert worker_pids == {4000, 4001}
+
+
+def test_stitch_rebases_timestamps_to_the_earliest_record(tmp_path):
+    root = make_journal(tmp_path)
+    events = stitch_fleet_trace(root)["traceEvents"]
+    slice_ts = [e["ts"] for e in events if e["ph"] == "X"]
+    assert min(slice_ts) < 10e6  # rebased: nowhere near epoch-seconds*1e6
+    assert all(ts >= 0 for ts in slice_ts)
+
+
+def test_dedup_cells_share_one_worker_span(tmp_path):
+    root = make_journal(tmp_path, dedup=True)
+    container = stitch_fleet_trace(root)
+    validate_chrome_trace(container["traceEvents"])
+    events = container["traceEvents"]
+    pairs = flow_pairs(events)
+    # both the simulated cell and the deduped cell point at the single
+    # worker span — two arrows, one worker slice
+    assert sum(1 for name, _ in pairs if name == "cell->worker") == 2
+    assert sum(1 for e in events
+               if e.get("cat") == "fleet.worker" and e["ph"] == "X") == 1
+    # the dedup arrow's start is clamped inside the cell slice
+    dedup_cell = next(e for e in events if e.get("cat") == "fleet.cell"
+                      and e["args"].get("source") == "dedup")
+    starts = [e for e in events if e.get("cat") == "fleet.flow"
+              and e["name"] == "cell->worker" and e["ph"] == "s"
+              and e["tid"] == dedup_cell["tid"]]
+    assert len(starts) == 1
+    assert (dedup_cell["ts"] <= starts[0]["ts"]
+            <= dedup_cell["ts"] + dedup_cell["dur"])
+
+
+def test_error_cells_keep_their_status_in_the_trace(tmp_path):
+    root = make_journal(tmp_path, with_error=True)
+    events = stitch_fleet_trace(root)["traceEvents"]
+    statuses = {e["args"]["status"] for e in events
+                if e.get("cat") == "fleet.cell"}
+    assert statuses == {"ok", "error"}
+
+
+def test_empty_journal_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text("", encoding="utf-8")
+    with pytest.raises(ValueError):
+        stitch_fleet_trace(path)
+    with pytest.raises((ValueError, OSError)):
+        stitch_fleet_trace(tmp_path / "nope")
+
+
+def test_write_fleet_trace_validates_and_writes(tmp_path):
+    root = make_journal(tmp_path)
+    out = tmp_path / "fleet-trace.json"
+    summary = write_fleet_trace(root, out)
+    assert summary["kind"] == "fleet_trace"
+    assert summary["cells"] == 3
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    validate_chrome_trace(loaded["traceEvents"])
+
+
+def test_journal_survives_write_after_close(tmp_path):
+    journal = FleetTraceJournal(tmp_path / "fleet")
+    journal.close()
+    journal.record(kind="job", job_id="late")  # no crash, silently dropped
+    lines = journal.path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1  # just the meta record
+
+
+def test_traced_payload_is_byte_identical_and_writes_a_span(tmp_path):
+    cell = tiny_cell()
+    ctx = {"key": cell.key(), "trace_id": new_trace_id(),
+           "parent_id": new_span_id(), "spans_dir": str(tmp_path / "w")}
+    plain_result, plain_error = execute_cell_payload(cell)
+    traced_result, traced_error = execute_cell_payload_traced(cell, ctx)
+    assert plain_error is None and traced_error is None
+    assert (json.dumps(traced_result, sort_keys=True)
+            == json.dumps(plain_result, sort_keys=True))
+
+    span_file = worker_span_path(tmp_path / "w", cell.key())
+    assert span_file.is_file()
+    container = json.loads(span_file.read_text(encoding="utf-8"))
+    other = container["otherData"]
+    assert other["kind"] == "worker_span"
+    assert other["key"] == cell.key()
+    assert other["trace_id"] == ctx["trace_id"]
+    assert other["failed"] is False
+    assert other["t1"] >= other["t0"]
+    # the span file is itself a loadable chrome-trace container
+    validate_chrome_trace(container["traceEvents"])
+
+
+def test_traced_payload_without_spans_dir_writes_nothing(tmp_path):
+    cell = tiny_cell()
+    result, error = execute_cell_payload_traced(cell, {"key": cell.key()})
+    assert error is None and result is not None
+    assert not list(tmp_path.iterdir())
+
+
+def test_traced_payload_records_failures(tmp_path):
+    cell = Cell("no-such-scheme", "mcf",
+                dataclasses.replace(default_config(scale=0.25), cores=2),
+                misses_per_core=MISSES)
+    ctx = {"key": cell.key(), "trace_id": new_trace_id(),
+           "spans_dir": str(tmp_path)}
+    result, error = execute_cell_payload_traced(cell, ctx)
+    assert result is None and error
+    container = json.loads(
+        worker_span_path(tmp_path, cell.key()).read_text(encoding="utf-8"))
+    assert container["otherData"]["failed"] is True
+
+
+def test_span_write_failure_never_fails_the_cell(tmp_path, monkeypatch):
+    cell = tiny_cell()
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(trace, "write_worker_span", boom)
+    result, error = execute_cell_payload_traced(
+        cell, {"key": cell.key(), "spans_dir": str(tmp_path)})
+    assert error is None and result is not None

@@ -1,0 +1,235 @@
+"""Observability of the live service: the ``metrics`` NDJSON verb, the
+HTTP ``/metrics``/``/healthz`` listener, error-path counters + logs,
+and the trace journal that :func:`write_fleet_trace` stitches."""
+
+import asyncio
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.executor import Cell
+from repro.obs import log
+from repro.obs.metrics import parse_exposition, sample_value
+from repro.obs.trace import stitch_fleet_trace, write_fleet_trace
+from repro.service import SweepClient, SweepService
+from repro.sim.config import default_config
+from repro.telemetry.tracer import validate_chrome_trace
+
+MISSES = 150
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(default_config(scale=0.25), cores=2)
+
+
+def make_cells(config, schemes=("nonm", "cam"), workload="mcf"):
+    return [Cell(s, workload, config, misses_per_core=MISSES)
+            for s in schemes]
+
+
+def scrape(samples_text):
+    return parse_exposition(samples_text)
+
+
+# ---------------------------------------------------------------------------
+# metrics verb
+# ---------------------------------------------------------------------------
+def test_metrics_verb_agrees_with_the_exactly_once_witness(config):
+    cells = make_cells(config)
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                await client.run(cells, tenant="t1")
+                await client.run(cells, tenant="t2")  # memo cache hits
+                stats = await client.stats()
+                metrics = await client.metrics()
+        return stats, metrics
+
+    stats, metrics = asyncio.run(go())
+    assert metrics["content_type"].startswith("text/plain; version=0.0.4")
+    samples = scrape(metrics["exposition"])
+
+    completed = sum(
+        sample_value(samples, "repro_cells_completed_total", default=0,
+                     source=s)
+        for s in ("cache", "simulated", "dedup"))
+    # conservation: the counters tell the same story as stats
+    assert completed == stats["cells"]["completed"] == 2 * len(cells)
+    assert sample_value(samples, "repro_cells_completed_total",
+                        source="simulated") == len(cells)
+    assert sample_value(samples, "repro_cells_completed_total",
+                        source="cache") == len(cells)
+    # exactly-once: unique executions == unique keys submitted
+    assert sample_value(
+        samples, "repro_unique_simulations_total") == len(cells)
+    assert sample_value(samples, "repro_cells_requested_total") == (
+        2 * len(cells))
+    assert sample_value(samples, "repro_jobs_total",
+                        state="submitted") == 2
+    assert sample_value(samples, "repro_jobs_total",
+                        state="completed") == 2
+    # NDJSON accounting saw traffic both ways
+    assert sample_value(samples, "repro_ndjson_bytes_total",
+                        direction="in") > 0
+    assert sample_value(samples, "repro_ndjson_bytes_total",
+                        direction="out") > 0
+    # cache hits landed in the latency histogram
+    assert sample_value(
+        samples, "repro_cache_hit_latency_seconds_count") == len(cells)
+
+
+# ---------------------------------------------------------------------------
+# error paths: counters + structured logs + streamed events
+# ---------------------------------------------------------------------------
+def test_poisoned_cell_increments_counter_and_logs(config):
+    cells = [Cell("no-such-scheme", "mcf", config,
+                  misses_per_core=MISSES)] + make_cells(
+        config, schemes=("nonm",))
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                outcome = await client.run(cells, tenant="victim")
+                metrics = await client.metrics()
+        return outcome, metrics
+
+    with log.capture() as records:
+        outcome, metrics = asyncio.run(go())
+
+    # streamed event: the tenant saw the failure on its own stream
+    assert outcome.status == "failed"
+    assert set(outcome.errors) == {0}
+    assert "no-such-scheme" in outcome.errors[0]
+    # counter: exactly one cell error
+    samples = scrape(metrics["exposition"])
+    assert sample_value(samples, "repro_cell_errors_total") == 1
+    # structured log: a cell_error record with the tenant bound
+    cell_errors = [r for r in records if r["event"] == "cell_error"]
+    assert len(cell_errors) == 1
+    assert cell_errors[0]["level"] == "error"
+    assert cell_errors[0]["tenant"] == "victim"
+    assert "no-such-scheme" in cell_errors[0]["error"]
+    # the worker-side failure was logged too (same process: jobs>=1
+    # pool still runs execute_cell_payload which logs cell_failed)
+    assert any(r["event"] == "worker_failure" for r in records)
+
+
+def test_malformed_and_rejected_requests_count_and_log(config):
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0) as service:
+            async def raw_exchange(line: bytes) -> dict:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port)
+                try:
+                    writer.write(line + b"\n")
+                    await writer.drain()
+                    return json.loads((await reader.readline()).decode())
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+            # a malformed line closes the connection, so each probe
+            # gets its own; a well-formed request for an unknown job is
+            # the "rejected" flavour
+            error1 = await raw_exchange(b"this is not json")
+            error2 = await raw_exchange(json.dumps(
+                {"type": "status", "job_id": "no-such-job"}).encode())
+            async with SweepClient("127.0.0.1", service.port) as client:
+                metrics = await client.metrics()
+        return error1, error2, metrics
+
+    with log.capture() as records:
+        error1, error2, metrics = asyncio.run(go())
+
+    assert error1["type"] == "error"
+    assert error2["type"] == "error"
+    samples = scrape(metrics["exposition"])
+    assert sample_value(samples, "repro_protocol_errors_total",
+                        kind="malformed") >= 1
+    assert sample_value(samples, "repro_protocol_errors_total",
+                        kind="rejected") >= 1
+    events = {r["event"] for r in records}
+    assert "malformed_request" in events
+    assert "request_rejected" in events
+
+
+# ---------------------------------------------------------------------------
+# HTTP listener
+# ---------------------------------------------------------------------------
+def http_get(port, path):
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, b""
+
+
+def test_http_metrics_and_healthz(config):
+    cells = make_cells(config, schemes=("nonm",))
+
+    async def go():
+        async with SweepService(jobs=1, telemetry_interval=0,
+                                metrics_port=0) as service:
+            assert service.metrics_http_port
+            async with SweepClient("127.0.0.1", service.port) as client:
+                await client.run(cells, tenant="t1")
+            port = service.metrics_http_port
+            loop = asyncio.get_running_loop()
+            scrapes = await asyncio.gather(
+                loop.run_in_executor(None, http_get, port, "/metrics"),
+                loop.run_in_executor(None, http_get, port, "/healthz"),
+                loop.run_in_executor(None, http_get, port, "/nope"))
+        return scrapes
+
+    (m_status, m_body), (h_status, h_body), (nf_status, _) = asyncio.run(go())
+    assert m_status == 200
+    samples = scrape(m_body.decode("utf-8"))
+    assert sample_value(samples, "repro_cells_completed_total",
+                        source="simulated") == 1
+    assert sample_value(samples, "repro_worker_pool_size") == 1
+    assert h_status == 200
+    health = json.loads(h_body)
+    assert health["ok"] is True
+    assert nf_status == 404
+
+
+# ---------------------------------------------------------------------------
+# trace journal end to end
+# ---------------------------------------------------------------------------
+def test_trace_dir_journal_stitches_after_stop(config, tmp_path):
+    cells = make_cells(config)
+    trace_dir = tmp_path / "fleet"
+
+    async def go():
+        async with SweepService(jobs=2, telemetry_interval=0,
+                                trace_dir=str(trace_dir)) as service:
+            async with SweepClient("127.0.0.1", service.port) as client:
+                await client.run(cells, tenant="alice")
+                await client.run(cells, tenant="bob")  # cache hits
+
+    asyncio.run(go())
+
+    container = stitch_fleet_trace(trace_dir)
+    validate_chrome_trace(container["traceEvents"])
+    other = container["otherData"]
+    assert other["tenants"] == 2
+    assert other["jobs"] == 2
+    assert other["cells"] == 2 * len(cells)
+    # only the unique simulations produced worker spans
+    assert other["worker_spans"] == len(cells)
+
+    out = tmp_path / "fleet-trace.json"
+    summary = write_fleet_trace(trace_dir, out)
+    assert summary == other | {"journal": summary["journal"]}
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    validate_chrome_trace(loaded["traceEvents"])
+    # cache-hit cells have no worker arrow but still carry their source
+    sources = {e["args"]["source"] for e in loaded["traceEvents"]
+               if e.get("cat") == "fleet.cell"}
+    assert sources == {"simulated", "cache"}

@@ -1,0 +1,172 @@
+"""Two-tier clock attribution: counter reconciliation, the per-scheme
+decline rate on the paper's quick cell, the spans_suppressed guard, and
+the tier section in ``repro analyze``."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cpu.system import System
+from repro.experiments.runner import SCHEMES, run_one
+from repro.obs import log
+from repro.sim.config import default_config
+from repro.sim.window import ClockStats, run_closed_form
+from repro.telemetry import write_artifacts
+from repro.telemetry.analyze import analyze
+from repro.workloads.spec import per_core_spec
+
+
+def batch_config(**overrides):
+    base = dataclasses.replace(default_config(scale=0.25), cores=2,
+                               batch_window=64)
+    return dataclasses.replace(base, **overrides)
+
+
+def make_system(config, scheme_key="silc", workload="mcf", misses=200):
+    setup = SCHEMES[scheme_key]
+    return System(config,
+                  scheme_factory=setup.factory,
+                  workload=per_core_spec(workload, config),
+                  misses_per_core=misses,
+                  alloc_policy=setup.alloc_policy,
+                  mode="miss", seed=7, warmup_fraction=0.0)
+
+
+# ---------------------------------------------------------------------------
+# reconciliation
+# ---------------------------------------------------------------------------
+def test_clock_counters_reconcile_exactly():
+    result = run_one("silc", "mcf", batch_config(), misses_per_core=300,
+                     seed=11, warmup_fraction=0.0)
+    extras = result.extras
+    assert extras["cf.dispatches_total"] == (
+        extras["cf.dispatches_fused"] + extras["cf.dispatches_generic"])
+    assert extras["cf.dispatches_fused"] == (
+        extras["cf.fused_issue"] + extras["cf.fused_complete_fast"]
+        + extras["cf.fused_complete_turbo"])
+    assert extras["cf.dispatches_generic"] == (
+        extras["cf.generic_certificate"]
+        + extras["cf.generic_unrecognized"])
+    # the fallback histogram sums to the generic total
+    fallback = sum(v for k, v in extras.items()
+                   if k.startswith("cf.fallback."))
+    assert fallback == extras["cf.dispatches_generic"]
+    # every fast-path consult landed in exactly one bucket
+    consults = extras["cf.fast_accepted"] + extras["cf.fast_declined"]
+    assert consults > 0
+    assert extras["cf.decline_rate"] == pytest.approx(
+        extras["cf.fast_declined"] / consults)
+
+
+def test_observation_extras_never_reach_the_wire_form():
+    result = run_one("silc", "mcf", batch_config(), misses_per_core=200,
+                     seed=3, warmup_fraction=0.0)
+    assert any(k.startswith("cf.") for k in result.extras)
+    wire = json.dumps(result.to_dict(), sort_keys=True)
+    assert "cf." not in wire
+    assert "spans_suppressed" not in wire
+    # and the scalar twin is byte-identical despite carrying no cf.*
+    scalar = run_one("silc", "mcf", batch_config(batch_window=0),
+                     misses_per_core=200, seed=3, warmup_fraction=0.0)
+    assert not any(k.startswith("cf.") for k in scalar.extras)
+    assert wire == json.dumps(scalar.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# the paper-scale decline rate (acceptance: 0.73 +/- 0.05 on quick mcf)
+# ---------------------------------------------------------------------------
+def test_silc_decline_rate_on_the_quick_mcf_cell():
+    config = dataclasses.replace(default_config(), mshr_entries=128,
+                                 batch_window=256)
+    result = run_one("silc", "mcf", config, misses_per_core=1500,
+                     seed=1234)
+    rate = result.extras["cf.decline_rate"]
+    assert 0.68 <= rate <= 0.78, f"decline rate drifted: {rate:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# spans_suppressed guard
+# ---------------------------------------------------------------------------
+def test_spans_suppressed_flag_and_warning():
+    """``System.run`` never routes a span-tracing run through the
+    evaluator; if a future gate change does, the suppression must be
+    loud — extras flag plus one structured warning."""
+    config = batch_config(telemetry_window=2000, span_sample_rate=1)
+    system = make_system(config)
+    assert system.spans is not None
+    for core in system.cores:
+        core.start()
+    system._halt_on_done = True
+    log.reset_once()
+    with log.capture() as records:
+        run_closed_form(system)
+    assert system._spans_suppressed is True
+    warnings = [r for r in records if r["event"] == "spans_suppressed"]
+    assert len(warnings) == 1
+    assert warnings[0]["level"] == "warning"
+    assert warnings[0]["scheme"] == "silcfm"
+    result = system._result(0.0)
+    assert result.extras["spans_suppressed"] == 1.0
+    assert "spans_suppressed" not in json.dumps(result.to_dict())
+
+    # warn_once: a second suppressed run in the same process stays quiet
+    system2 = make_system(config)
+    for core in system2.cores:
+        core.start()
+    system2._halt_on_done = True
+    with log.capture() as records2:
+        run_closed_form(system2)
+    assert system2._spans_suppressed is True
+    assert not [r for r in records2 if r["event"] == "spans_suppressed"]
+    log.reset_once()
+
+
+def test_system_run_gates_span_runs_off_the_evaluator():
+    config = batch_config(telemetry_window=2000, span_sample_rate=1)
+    result = run_one("silc", "mcf", config, misses_per_core=200, seed=5,
+                     warmup_fraction=0.0)
+    # generic dispatch ran: spans populated, nothing suppressed
+    assert "spans_suppressed" not in result.extras
+    assert result.telemetry["spans"]["spans"] > 0
+    assert not any(k.startswith("cf.dispatches") for k in result.extras)
+
+
+# ---------------------------------------------------------------------------
+# ClockStats unit surface
+# ---------------------------------------------------------------------------
+def test_clock_stats_extras_shape():
+    clock = ClockStats()
+    clock.dispatched = 10
+    clock.fused_issue = 4
+    clock.fused_complete_fast = 2
+    clock.fused_complete_turbo = 1
+    clock.generic_certificate = 2
+    clock.generic_unrecognized = 1
+    clock.fallback["shape:tick"] = 1
+    assert clock.fused == 7
+    assert clock.generic == 3
+    extras = clock.as_extras()
+    assert extras["cf.dispatches_total"] == 10.0
+    assert extras["cf.dispatches_fused"] == 7.0
+    assert extras["cf.dispatches_generic"] == 3.0
+    assert extras["cf.fallback.shape:tick"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# analyze renders the tier section
+# ---------------------------------------------------------------------------
+def test_analyze_renders_tier_attribution_from_a_series(tmp_path):
+    config = batch_config(telemetry_window=2000)
+    result = run_one("silc", "mcf", config, misses_per_core=300, seed=9,
+                     warmup_fraction=0.0)
+    assert result.telemetry is not None
+    series, _trace = write_artifacts(tmp_path, "silc-mcf",
+                                     result.telemetry)
+    report = analyze(series)
+    assert "Two-tier clock attribution" in report
+    assert "fused inline" in report
+    assert "decline rate" in report
+    # the rendered totals agree with the run's own extras
+    total = result.extras["cf.dispatches_total"]
+    assert f"{total:,.0f} total" in report
